@@ -1,0 +1,233 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation as testing.B benchmarks, plus ablation benches for the
+// design decisions called out in DESIGN.md §5. Run:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fuzzer"
+	"repro/internal/interp"
+	"repro/internal/invariant"
+	"repro/internal/pointsto"
+	"repro/internal/workload"
+)
+
+var benchOpt = experiments.Options{Requests: 100, PerfRequests: 400, Runs: 1, FuzzIters: 60, Seed: 1}
+
+// BenchmarkFigure1 regenerates the static-vs-observed CFI comparison.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := experiments.Figure1Compute(benchOpt)
+		if len(d.Sites) == 0 {
+			b.Fatal("no callsites")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the application inventory.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table2()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the precision table: 9 applications × 8
+// configurations × (fallback + optimistic) analyses.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3Data(experiments.AnalyzeAll())
+		if len(rows) != 9 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates the benchmark-driver coverage table.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table4Data(benchOpt)
+		if len(rows) != 9 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates the fuzzing-campaign coverage table.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table5Data(benchOpt)
+		if len(rows) != 9 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFigure10to12 regenerates the distribution figures (they share
+// one analysis sweep).
+func BenchmarkFigure10to12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data := experiments.AnalyzeAll()
+		if len(experiments.Figure10(data)) == 0 ||
+			len(experiments.Figure11(data)) == 0 ||
+			len(experiments.Figure12(data)) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFigure13 regenerates the throughput figure.
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure13Data(benchOpt)
+		if len(rows) != 9 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+// BenchmarkAnalyze measures the IGO analysis per application and
+// configuration (solver cost ablation across the likely-invariant policies).
+func BenchmarkAnalyze(b *testing.B) {
+	for _, app := range workload.Apps() {
+		m := app.MustModule()
+		for _, cfg := range []invariant.Config{{}, invariant.All()} {
+			b.Run(fmt.Sprintf("%s/%s", app.Name, cfg.Name()), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					pointsto.New(m, cfg).Solve()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkExecution measures interpreter throughput per hardening level:
+// Unhardened (no checks), Baseline (fallback CFI only), and Kaleidoscope
+// (optimistic CFI + monitors) — the microbenchmark behind Figure 13.
+func BenchmarkExecution(b *testing.B) {
+	for _, name := range []string{"mbedtls", "memcached", "tinydtls"} {
+		app := workload.ByName(name)
+		m := app.MustModule()
+		inputs := app.Requests(50, 1)
+
+		b.Run(name+"/Unhardened", func(b *testing.B) {
+			mc := interp.New(m, interp.Config{})
+			for i := 0; i < b.N; i++ {
+				if tr := mc.Run("main", inputs); tr.Err != nil {
+					b.Fatal(tr.Err)
+				}
+			}
+		})
+		for _, cfg := range []invariant.Config{{}, invariant.All()} {
+			h := core.Analyze(m, cfg).Harden()
+			label := "Baseline"
+			if cfg.Any() {
+				label = "Kaleidoscope"
+			}
+			b.Run(name+"/"+label, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					e := h.NewExecution(false)
+					if tr := e.Run("main", inputs); tr.Err != nil {
+						b.Fatal(tr.Err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFuzzer measures fuzzing executions per second on the smallest
+// workload.
+func BenchmarkFuzzer(b *testing.B) {
+	app := workload.ByName("tinydtls")
+	h := core.Analyze(app.MustModule(), invariant.All()).Harden()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fuzzer.Run(h, "main", app.FuzzSeeds, fuzzer.Config{Iterations: 20, Seed: int64(i + 1)})
+	}
+}
+
+// BenchmarkIntrospection measures the overhead of the §4.1 tracing
+// instrumentation relative to BenchmarkAnalyze (the paper calls it
+// "non-trivial" but off the hot path).
+func BenchmarkIntrospection(b *testing.B) {
+	m := workload.ByName("libpng").MustModule()
+	for i := 0; i < b.N; i++ {
+		a := pointsto.New(m, invariant.Config{})
+		a.SetTracer(nopTracer{})
+		a.Solve()
+	}
+}
+
+type nopTracer struct{}
+
+func (nopTracer) Growth(pointsto.GrowthEvent) {}
+func (nopTracer) Cycle(int, bool)             {}
+
+// BenchmarkSolverStrategy compares the three solving strategies (DESIGN.md
+// §5): worklist with cycle collapse, naive worklist (no copy-cycle
+// collapse), and wave propagation. Results are identical (asserted in
+// internal/pointsto tests); only cost differs.
+func BenchmarkSolverStrategy(b *testing.B) {
+	m := workload.ByName("mbedtls").MustModule()
+	b.Run("WorklistCollapse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pointsto.New(m, invariant.All()).Solve()
+		}
+	})
+	b.Run("NaiveWorklist", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := pointsto.New(m, invariant.All())
+			a.SetNaive(true)
+			a.Solve()
+		}
+	})
+	b.Run("WavePropagation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := pointsto.New(m, invariant.All())
+			a.SetWave(true)
+			a.Solve()
+		}
+	})
+}
+
+// BenchmarkIncrementalRestore compares a full re-analysis against an
+// incremental Restore after one PA violation (the §8 trade-off).
+func BenchmarkIncrementalRestore(b *testing.B) {
+	m := workload.ByName("mbedtls").MustModule()
+	findPA := func(r interface{ Invariants() []invariant.Record }) *invariant.Record {
+		for _, rec := range r.Invariants() {
+			if rec.Kind == invariant.PA {
+				rc := rec
+				return &rc
+			}
+		}
+		return nil
+	}
+	b.Run("FullReanalysis", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pointsto.New(m, invariant.Config{Ctx: true, PWC: true}).Solve()
+		}
+	})
+	b.Run("IncrementalRestore", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			r := pointsto.New(m, invariant.All()).Solve()
+			rec := findPA(r)
+			if rec == nil {
+				b.Fatal("no PA invariant")
+			}
+			b.StartTimer()
+			if err := r.Restore(*rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,153 @@
+// Command kscope-bench regenerates the paper's evaluation tables and
+// figures on the nine synthetic applications.
+//
+// Usage:
+//
+//	kscope-bench -all
+//	kscope-bench -table 3 -fig 11 -fig 13
+//	kscope-bench -table 5 -fuzz 1000
+//
+// Flags:
+//
+//	-all           regenerate everything
+//	-table N       regenerate table N (2, 3, 4, 5); repeatable
+//	-fig N         regenerate figure N (1, 10, 11, 12, 13); repeatable
+//	-requests N    requests per benchmark run (default 200)
+//	-runs N        repetitions for throughput (default 3)
+//	-fuzz N        fuzzing executions per application (default 400)
+//	-seed N        base RNG seed (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// intList collects repeatable integer flags.
+type intList []int
+
+func (l *intList) String() string { return fmt.Sprint([]int(*l)) }
+
+func (l *intList) Set(s string) error {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var tables, figs intList
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	requests := flag.Int("requests", 0, "requests per benchmark run")
+	runs := flag.Int("runs", 0, "repetitions for throughput averaging")
+	fuzz := flag.Int("fuzz", 0, "fuzzing executions per application")
+	seed := flag.Int64("seed", 0, "base RNG seed")
+	csvDir := flag.String("csv", "", "also export points-to sets and CFI policies as CSV into this directory")
+	var exts stringList
+	flag.Var(&tables, "table", "table number to regenerate (repeatable)")
+	flag.Var(&figs, "fig", "figure number to regenerate (repeatable)")
+	flag.Var(&exts, "ext", "extension experiment: debloat, graded (repeatable)")
+	flag.Parse()
+
+	opt := experiments.Options{
+		Requests:  *requests,
+		Runs:      *runs,
+		FuzzIters: *fuzz,
+		Seed:      *seed,
+	}
+	if *all {
+		tables = intList{2, 3, 4, 5}
+		figs = intList{1, 10, 11, 12, 13}
+		exts = stringList{"debloat", "graded", "incremental"}
+	}
+	if len(tables) == 0 && len(figs) == 0 && len(exts) == 0 && *csvDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// The analysis-only artifacts share one AnalyzeAll pass.
+	var data []*experiments.AppData
+	needData := func() []*experiments.AppData {
+		if data == nil {
+			data = experiments.AnalyzeAll()
+		}
+		return data
+	}
+
+	var out []string
+	for _, f := range figs {
+		if f == 1 {
+			out = append(out, experiments.Figure1(opt))
+		}
+	}
+	for _, t := range tables {
+		switch t {
+		case 2:
+			out = append(out, experiments.Table2())
+		case 3:
+			out = append(out, experiments.Table3(needData()))
+		case 4:
+			out = append(out, experiments.Table4(opt))
+		case 5:
+			out = append(out, experiments.Table5(opt))
+		default:
+			fmt.Fprintf(os.Stderr, "kscope-bench: no table %d\n", t)
+			os.Exit(2)
+		}
+	}
+	for _, f := range figs {
+		switch f {
+		case 1:
+			// already emitted first, matching the paper's order
+		case 10:
+			out = append(out, experiments.Figure10(needData()))
+		case 11:
+			out = append(out, experiments.Figure11(needData()))
+		case 12:
+			out = append(out, experiments.Figure12(needData()))
+		case 13:
+			out = append(out, experiments.Figure13(opt))
+		default:
+			fmt.Fprintf(os.Stderr, "kscope-bench: no figure %d\n", f)
+			os.Exit(2)
+		}
+	}
+	for _, e := range exts {
+		switch e {
+		case "debloat":
+			out = append(out, experiments.ExtDebloat())
+		case "graded":
+			out = append(out, experiments.ExtGraded())
+		case "incremental":
+			out = append(out, experiments.ExtIncremental())
+		default:
+			fmt.Fprintf(os.Stderr, "kscope-bench: no extension %q\n", e)
+			os.Exit(2)
+		}
+	}
+	if *csvDir != "" {
+		if err := experiments.WriteCSVs(*csvDir, needData()); err != nil {
+			fmt.Fprintf(os.Stderr, "kscope-bench: csv export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("CSV results written to %s\n", *csvDir)
+	}
+	fmt.Println(strings.Join(out, "\n"))
+}
+
+// stringList collects repeatable string flags.
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+
+func (l *stringList) Set(s string) error {
+	*l = append(*l, s)
+	return nil
+}

@@ -1,0 +1,268 @@
+// Package bitset provides compact integer sets used as points-to sets by the
+// pointer-analysis solver. Node identifiers are small dense integers, so the
+// set is backed by a word array indexed by id/64.
+//
+// The zero value of Set is an empty set ready for use.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a set of non-negative integers backed by a bit vector.
+type Set struct {
+	words []uint64
+	count int // cached cardinality; always kept in sync
+}
+
+// New returns an empty set with capacity hint n.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// grow ensures the set can hold element x.
+func (s *Set) grow(x int) {
+	need := x/wordBits + 1
+	if need <= len(s.words) {
+		return
+	}
+	nw := make([]uint64, need+need/2)
+	copy(nw, s.words)
+	s.words = nw
+}
+
+// Add inserts x and reports whether the set changed.
+func (s *Set) Add(x int) bool {
+	if x < 0 {
+		panic(fmt.Sprintf("bitset: negative element %d", x))
+	}
+	s.grow(x)
+	w, b := x/wordBits, uint(x%wordBits)
+	if s.words[w]&(1<<b) != 0 {
+		return false
+	}
+	s.words[w] |= 1 << b
+	s.count++
+	return true
+}
+
+// Remove deletes x and reports whether the set changed.
+func (s *Set) Remove(x int) bool {
+	if x < 0 || x/wordBits >= len(s.words) {
+		return false
+	}
+	w, b := x/wordBits, uint(x%wordBits)
+	if s.words[w]&(1<<b) == 0 {
+		return false
+	}
+	s.words[w] &^= 1 << b
+	s.count--
+	return true
+}
+
+// Has reports whether x is in the set.
+func (s *Set) Has(x int) bool {
+	if x < 0 {
+		return false
+	}
+	w := x / wordBits
+	if w >= len(s.words) {
+		return false
+	}
+	return s.words[w]&(1<<uint(x%wordBits)) != 0
+}
+
+// Len returns the cardinality of the set.
+func (s *Set) Len() int { return s.count }
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool { return s.count == 0 }
+
+// UnionWith adds every element of t to s and reports whether s changed.
+func (s *Set) UnionWith(t *Set) bool {
+	if t == nil || t.count == 0 {
+		return false
+	}
+	if len(t.words) > len(s.words) {
+		nw := make([]uint64, len(t.words))
+		copy(nw, s.words)
+		s.words = nw
+	}
+	changed := false
+	for i, tw := range t.words {
+		if tw == 0 {
+			continue
+		}
+		old := s.words[i]
+		merged := old | tw
+		if merged != old {
+			s.words[i] = merged
+			s.count += bits.OnesCount64(merged) - bits.OnesCount64(old)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// DifferenceWith removes every element of t from s.
+func (s *Set) DifferenceWith(t *Set) {
+	if t == nil {
+		return
+	}
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		old := s.words[i]
+		cleared := old &^ t.words[i]
+		if cleared != old {
+			s.words[i] = cleared
+			s.count -= bits.OnesCount64(old) - bits.OnesCount64(cleared)
+		}
+	}
+}
+
+// IntersectWith keeps only elements present in both s and t.
+func (s *Set) IntersectWith(t *Set) {
+	for i := range s.words {
+		var tw uint64
+		if t != nil && i < len(t.words) {
+			tw = t.words[i]
+		}
+		old := s.words[i]
+		kept := old & tw
+		if kept != old {
+			s.words[i] = kept
+			s.count -= bits.OnesCount64(old) - bits.OnesCount64(kept)
+		}
+	}
+}
+
+// Intersects reports whether s and t share any element.
+func (s *Set) Intersects(t *Set) bool {
+	if t == nil {
+		return false
+	}
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s *Set) SubsetOf(t *Set) bool {
+	for i, sw := range s.words {
+		if sw == 0 {
+			continue
+		}
+		var tw uint64
+		if t != nil && i < len(t.words) {
+			tw = t.words[i]
+		}
+		if sw&^tw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain exactly the same elements.
+func (s *Set) Equal(t *Set) bool {
+	if t == nil {
+		return s.count == 0
+	}
+	if s.count != t.count {
+		return false
+	}
+	return s.SubsetOf(t)
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), count: s.count}
+	copy(c.words, s.words)
+	return c
+}
+
+// Clear removes all elements, retaining capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	s.count = 0
+}
+
+// ForEach calls f for each element in ascending order. If f returns false,
+// iteration stops.
+func (s *Set) ForEach(f func(x int) bool) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !f(i*wordBits + b) {
+				return
+			}
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Elements returns the elements in ascending order.
+func (s *Set) Elements() []int {
+	out := make([]int, 0, s.count)
+	s.ForEach(func(x int) bool {
+		out = append(out, x)
+		return true
+	})
+	return out
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s *Set) Min() int {
+	for i, w := range s.words {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Max returns the largest element, or -1 if the set is empty.
+func (s *Set) Max() int {
+	for i := len(s.words) - 1; i >= 0; i-- {
+		if w := s.words[i]; w != 0 {
+			return i*wordBits + wordBits - 1 - bits.LeadingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// String renders the set as "{1, 5, 9}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(x int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", x)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,322 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddHasRemove(t *testing.T) {
+	s := New(0)
+	if s.Has(3) {
+		t.Fatal("empty set reports membership")
+	}
+	if !s.Add(3) {
+		t.Fatal("Add of new element returned false")
+	}
+	if s.Add(3) {
+		t.Fatal("Add of existing element returned true")
+	}
+	if !s.Has(3) || s.Len() != 1 {
+		t.Fatalf("set state after Add: has=%v len=%d", s.Has(3), s.Len())
+	}
+	if !s.Remove(3) {
+		t.Fatal("Remove of existing element returned false")
+	}
+	if s.Remove(3) {
+		t.Fatal("Remove of missing element returned true")
+	}
+	if s.Has(3) || s.Len() != 0 {
+		t.Fatalf("set state after Remove: has=%v len=%d", s.Has(3), s.Len())
+	}
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	New(0).Add(-1)
+}
+
+func TestGrowthAcrossWords(t *testing.T) {
+	s := New(0)
+	elems := []int{0, 63, 64, 127, 128, 1000, 4096}
+	for _, e := range elems {
+		s.Add(e)
+	}
+	for _, e := range elems {
+		if !s.Has(e) {
+			t.Errorf("missing %d", e)
+		}
+	}
+	if s.Len() != len(elems) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(elems))
+	}
+	got := s.Elements()
+	want := append([]int(nil), elems...)
+	sort.Ints(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elements = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUnionWith(t *testing.T) {
+	a, b := New(0), New(0)
+	a.Add(1)
+	a.Add(100)
+	b.Add(2)
+	b.Add(100)
+	b.Add(500)
+	if !a.UnionWith(b) {
+		t.Fatal("union with new elements reported no change")
+	}
+	if a.UnionWith(b) {
+		t.Fatal("idempotent union reported change")
+	}
+	for _, e := range []int{1, 2, 100, 500} {
+		if !a.Has(e) {
+			t.Errorf("union missing %d", e)
+		}
+	}
+	if a.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", a.Len())
+	}
+	if a.UnionWith(nil) {
+		t.Fatal("union with nil reported change")
+	}
+}
+
+func TestDifferenceWith(t *testing.T) {
+	a, b := New(0), New(0)
+	for _, e := range []int{1, 2, 3, 200} {
+		a.Add(e)
+	}
+	b.Add(2)
+	b.Add(200)
+	b.Add(999) // not in a
+	a.DifferenceWith(b)
+	if a.Has(2) || a.Has(200) {
+		t.Fatal("difference retained removed elements")
+	}
+	if !a.Has(1) || !a.Has(3) || a.Len() != 2 {
+		t.Fatalf("difference wrong: %v", a)
+	}
+}
+
+func TestIntersectWith(t *testing.T) {
+	a, b := New(0), New(0)
+	for _, e := range []int{1, 2, 3, 64, 65} {
+		a.Add(e)
+	}
+	for _, e := range []int{2, 65, 1000} {
+		b.Add(e)
+	}
+	a.IntersectWith(b)
+	if a.Len() != 2 || !a.Has(2) || !a.Has(65) {
+		t.Fatalf("intersect wrong: %v", a)
+	}
+}
+
+func TestIntersectsAndSubset(t *testing.T) {
+	a, b := New(0), New(0)
+	a.Add(10)
+	a.Add(70)
+	b.Add(70)
+	if !a.Intersects(b) {
+		t.Fatal("Intersects false for overlapping sets")
+	}
+	if b.Intersects(New(0)) {
+		t.Fatal("Intersects true with empty set")
+	}
+	if !b.SubsetOf(a) {
+		t.Fatal("SubsetOf false for subset")
+	}
+	if a.SubsetOf(b) {
+		t.Fatal("SubsetOf true for superset")
+	}
+	if !New(0).SubsetOf(b) {
+		t.Fatal("empty set not subset")
+	}
+}
+
+func TestEqualClone(t *testing.T) {
+	a := New(0)
+	for _, e := range []int{5, 6, 900} {
+		a.Add(e)
+	}
+	c := a.Clone()
+	if !a.Equal(c) || !c.Equal(a) {
+		t.Fatal("clone not equal")
+	}
+	c.Add(7)
+	if a.Equal(c) || a.Has(7) {
+		t.Fatal("clone aliases original")
+	}
+	if !New(0).Equal(nil) {
+		t.Fatal("empty set should equal nil")
+	}
+}
+
+func TestClearMinMax(t *testing.T) {
+	s := New(0)
+	if s.Min() != -1 || s.Max() != -1 {
+		t.Fatal("min/max of empty set")
+	}
+	s.Add(42)
+	s.Add(7)
+	s.Add(300)
+	if s.Min() != 7 || s.Max() != 300 {
+		t.Fatalf("min=%d max=%d", s.Min(), s.Max())
+	}
+	s.Clear()
+	if s.Len() != 0 || s.Has(42) {
+		t.Fatal("Clear did not empty set")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 10; i++ {
+		s.Add(i * 3)
+	}
+	n := 0
+	s.ForEach(func(x int) bool {
+		n++
+		return n < 4
+	})
+	if n != 4 {
+		t.Fatalf("early stop visited %d elements, want 4", n)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(0)
+	if got := s.String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+	s.Add(1)
+	s.Add(5)
+	if got := s.String(); got != "{1, 5}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: the bitset behaves identically to a reference map-based set under
+// random operation sequences.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := New(0)
+		ref := map[int]bool{}
+		for _, op := range ops {
+			x := int(op % 512)
+			switch op % 3 {
+			case 0:
+				added := s.Add(x)
+				if added == ref[x] {
+					return false
+				}
+				ref[x] = true
+			case 1:
+				removed := s.Remove(x)
+				if removed != ref[x] {
+					return false
+				}
+				delete(ref, x)
+			case 2:
+				if s.Has(x) != ref[x] {
+					return false
+				}
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for x := range ref {
+			if !s.Has(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union is commutative with respect to membership.
+func TestQuickUnionCommutative(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b := New(0), New(0)
+		for _, x := range xs {
+			a.Add(int(x % 1024))
+		}
+		for _, y := range ys {
+			b.Add(int(y % 1024))
+		}
+		ab := a.Clone()
+		ab.UnionWith(b)
+		ba := b.Clone()
+		ba.UnionWith(a)
+		return ab.Equal(ba)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: A ⊆ A∪B and B ⊆ A∪B; (A∪B)∖B ⊆ A.
+func TestQuickUnionDifferenceLaws(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b := New(0), New(0)
+		for _, x := range xs {
+			a.Add(int(x % 1024))
+		}
+		for _, y := range ys {
+			b.Add(int(y % 1024))
+		}
+		u := a.Clone()
+		u.UnionWith(b)
+		if !a.SubsetOf(u) || !b.SubsetOf(u) {
+			return false
+		}
+		d := u.Clone()
+		d.DifferenceWith(b)
+		return d.SubsetOf(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionBitset(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := New(0)
+	for i := 0; i < 500; i++ {
+		src.Add(rng.Intn(8192))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := New(8192)
+		dst.UnionWith(src)
+	}
+}
+
+func BenchmarkUnionMapSet(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		src[rng.Intn(8192)] = true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := make(map[int]bool, len(src))
+		for k := range src {
+			dst[k] = true
+		}
+	}
+}

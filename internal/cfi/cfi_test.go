@@ -1,0 +1,102 @@
+package cfi
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/invariant"
+	"repro/internal/minic"
+	"repro/internal/pointsto"
+)
+
+const src = `
+struct ops { fn open; fn close; }
+ops g;
+int do_open(int* x) { return 1; }
+int do_close(int* x) { return 2; }
+int unused(int* x) { return 3; }
+int main() {
+  fn extra;
+  int r;
+  extra = &unused;
+  g.open = &do_open;
+  g.close = &do_close;
+  r = g.open(null);
+  r = r + g.close(null);
+  return r;
+}
+`
+
+func policy(t *testing.T) *Policy {
+	t.Helper()
+	m, err := minic.Compile("cfi", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return PolicyFrom(pointsto.New(m, invariant.Config{}).Solve())
+}
+
+func TestPolicyFrom(t *testing.T) {
+	p := policy(t)
+	if len(p.Sites) != 2 {
+		t.Fatalf("sites = %v", p.Sites)
+	}
+	if p.AddressTaken != 3 {
+		t.Errorf("address-taken = %d, want 3", p.AddressTaken)
+	}
+	if !p.Permits(p.Sites[0], "do_open") {
+		t.Errorf("site 0 denies do_open: %v", p.Targets[p.Sites[0]])
+	}
+	if p.Permits(p.Sites[0], "unused") {
+		t.Error("site 0 permits unused")
+	}
+	if p.Permits(9999, "do_open") {
+		t.Error("unknown site permits")
+	}
+}
+
+func TestPolicyStats(t *testing.T) {
+	p := policy(t)
+	counts := p.TargetCounts()
+	if len(counts) != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if p.AvgTargets() != 1 {
+		t.Errorf("avg = %v, want 1 (field-sensitive precision)", p.AvgTargets())
+	}
+	if p.MaxTargets() != 1 {
+		t.Errorf("max = %v", p.MaxTargets())
+	}
+	empty := &Policy{Targets: map[int][]string{}}
+	if empty.AvgTargets() != 0 || empty.MaxTargets() != 0 {
+		t.Error("empty policy stats nonzero")
+	}
+}
+
+func TestPolicyView(t *testing.T) {
+	p := policy(t)
+	v := p.View("optimistic")
+	if v.Name != "optimistic" {
+		t.Errorf("view name = %q", v.Name)
+	}
+	for _, site := range p.Sites {
+		for _, fn := range p.Targets[site] {
+			if !v.Permits(site, fn) {
+				t.Errorf("view denies %s at %d", fn, site)
+			}
+		}
+		if v.Permits(site, "unused") {
+			t.Errorf("view permits unused at %d", site)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	p := policy(t)
+	d := p.Describe()
+	for _, want := range []string{"indirect callsites", "do_open", "do_close", "address-taken"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q:\n%s", want, d)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package core is the Kaleidoscope IGO (invariant-guided optimistic) pointer
+// analysis engine — the paper's primary contribution. It orchestrates the
+// three stages of Figure 4:
+//
+//  1. run the standard pointer analysis → the fallback memory view;
+//  2. run the analysis assuming the selected likely invariants → the
+//     optimistic memory view;
+//  3. derive runtime monitors and the secure memory-view switcher so a
+//     hardened execution starts optimistic and degrades soundly on
+//     invariant violation.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cfi"
+	"repro/internal/interp"
+	"repro/internal/invariant"
+	"repro/internal/ir"
+	"repro/internal/memview"
+	"repro/internal/minic"
+	"repro/internal/pointsto"
+)
+
+// System is the result of the IGO analysis on one module: the two points-to
+// collections plus the invariant/monitor inventory carried by the optimistic
+// one.
+type System struct {
+	Module     *ir.Module
+	Config     invariant.Config
+	Fallback   *pointsto.Result // stage ① — sound, imprecise
+	Optimistic *pointsto.Result // stage ② — precise while the invariants hold
+}
+
+// Analyze runs the IGO pointer analysis with the given likely-invariant
+// configuration. With no invariants enabled the optimistic result aliases
+// the fallback.
+func Analyze(m *ir.Module, cfg invariant.Config) *System {
+	s := &System{Module: m, Config: cfg}
+	s.Fallback = pointsto.New(m, invariant.Config{}).Solve()
+	if cfg.Any() {
+		s.Optimistic = pointsto.New(m, cfg).Solve()
+	} else {
+		s.Optimistic = s.Fallback
+	}
+	return s
+}
+
+// AnalyzeSource compiles MiniC source and runs Analyze.
+func AnalyzeSource(name, src string, cfg invariant.Config) (*System, error) {
+	m, err := minic.Compile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(m, cfg), nil
+}
+
+// Invariants returns the likely invariants assumed by the optimistic run.
+func (s *System) Invariants() []invariant.Record { return s.Optimistic.Invariants() }
+
+// Population returns the measurement population for precision metrics: every
+// top-level pointer with a non-empty fallback points-to set. Using the
+// fallback population for all configurations keeps Table 3 columns
+// comparable.
+func (s *System) Population() []pointsto.PtrRef { return s.Fallback.TopLevelPointers() }
+
+// Sizes returns the points-to set sizes of the population under r.
+func (s *System) Sizes(r *pointsto.Result) []int {
+	pop := s.Population()
+	out := make([]int, len(pop))
+	for i, p := range pop {
+		out[i] = r.SizeOf(p)
+	}
+	return out
+}
+
+// Hardened is a CFI-instrumented program: both policy views plus everything
+// needed to construct monitored executions.
+type Hardened struct {
+	Sys        *System
+	Optimistic *cfi.Policy
+	Fallback   *cfi.Policy
+}
+
+// Harden derives the CFI policies for both views (stage ③ preparation).
+func (s *System) Harden() *Hardened {
+	return &Hardened{
+		Sys:        s,
+		Optimistic: cfi.PolicyFrom(s.Optimistic),
+		Fallback:   cfi.PolicyFrom(s.Fallback),
+	}
+}
+
+// Execution is one monitored run context: a fresh switcher (starting on the
+// optimistic view), the monitor runtime, and an interpreter wired to both.
+type Execution struct {
+	Machine  *interp.Machine
+	Runtime  *memview.Runtime
+	Switcher *memview.Switcher
+	Instr    *interp.Instrumentation
+}
+
+// NewExecution builds a monitored execution. Each execution has its own
+// switcher state, so one invariant violation does not leak across runs.
+func (h *Hardened) NewExecution(track bool) *Execution {
+	sw, secret := memview.NewSwitcher(
+		h.Optimistic.View("optimistic"),
+		h.Fallback.View("fallback"),
+	)
+	rt, ins := memview.NewRuntime(h.Sys.Optimistic, sw, secret)
+	mc := interp.New(h.Sys.Module, interp.Config{
+		Hooks:         rt,
+		Instr:         ins,
+		TrackPointsTo: track,
+	})
+	return &Execution{Machine: mc, Runtime: rt, Switcher: sw, Instr: ins}
+}
+
+// MonitorSites returns the number of distinct instrumented monitor sites in
+// a hardened execution (the "Total" column of Tables 4 and 5).
+func (h *Hardened) MonitorSites() int {
+	return h.NewExecution(false).Instr.NumMonitorSites()
+}
+
+// Run executes the entry function under monitoring.
+func (e *Execution) Run(entry string, inputs []int64) *interp.Trace {
+	return e.Machine.Run(entry, inputs)
+}
+
+// SoundnessReport compares a dynamic trace against a points-to result and
+// returns a description of every dynamic points-to fact absent from the
+// static result (empty = the result soundly over-approximates the run).
+func SoundnessReport(r *pointsto.Result, tr *interp.Trace) []string {
+	var bad []string
+	lookup := func(key interp.AbsKey) *pointsto.Object {
+		switch key.Kind {
+		case interp.AbsGlobal:
+			return r.ObjectByGlobal(key.Name)
+		case interp.AbsFunc:
+			return r.ObjectByFunc(key.Name)
+		default:
+			return r.ObjectBySite(key.Site)
+		}
+	}
+	for pt, targets := range tr.RegPoints {
+		static := map[int]bool{}
+		for _, ref := range r.PointsTo(pt.Fn, pt.Reg) {
+			static[ref.Obj.Index] = true
+		}
+		for key := range targets {
+			obj := lookup(key)
+			if obj == nil || !static[obj.Index] {
+				bad = append(bad, fmt.Sprintf("register %s:%s dynamically points to %s, statically absent", pt.Fn, pt.Reg, key))
+			}
+		}
+	}
+	for pt, targets := range tr.SlotPoints {
+		container := lookup(pt.Obj)
+		if container == nil {
+			bad = append(bad, fmt.Sprintf("no abstract object for runtime container %s", pt.Obj))
+			continue
+		}
+		static := map[int]bool{}
+		for _, ref := range r.SlotPointsTo(container, pt.Slot) {
+			static[ref.Obj.Index] = true
+		}
+		for key := range targets {
+			obj := lookup(key)
+			if obj == nil || !static[obj.Index] {
+				bad = append(bad, fmt.Sprintf("slot %s+%d dynamically points to %s, statically absent", pt.Obj, pt.Slot, key))
+			}
+		}
+	}
+	for site, targets := range tr.ICallObserved {
+		allowed := map[string]bool{}
+		for _, t := range r.CallTargets(site) {
+			allowed[t] = true
+		}
+		for t := range targets {
+			if !allowed[t] {
+				bad = append(bad, fmt.Sprintf("icall #%d dynamically reached %s, statically absent", site, t))
+			}
+		}
+	}
+	return bad
+}

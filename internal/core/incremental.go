@@ -1,0 +1,156 @@
+package core
+
+import (
+	"repro/internal/cfi"
+	"repro/internal/interp"
+	"repro/internal/invariant"
+	"repro/internal/ir"
+	"repro/internal/memview"
+	"repro/internal/pointsto"
+)
+
+// Incremental fallback (paper §8, second alternative): instead of switching
+// to a pre-generated fallback memory view, an invariant violation triggers
+// an incremental re-analysis (pointsto.Result.Restore) that abandons only
+// the violated assumption and refreshes the CFI policy and monitors on the
+// fly. Precision degrades by exactly one invariant per violation — strictly
+// finer-grained than even the graded controller, at the cost of an online
+// solver pass.
+
+// IncrementalController implements interp.Hooks with restore-on-violation.
+type IncrementalController struct {
+	opt     *pointsto.Result
+	policy  *cfi.Policy
+	runtime *memview.Runtime
+
+	// Violations lists every violation observed, in order.
+	Violations []memview.Violation
+	// Restores counts successful incremental re-analyses.
+	Restores int
+	// CFILookups counts indirect-call policy checks.
+	CFILookups int64
+}
+
+// IncrementalExecution is a monitored run with restore-on-violation.
+type IncrementalExecution struct {
+	Machine    *interp.Machine
+	Controller *IncrementalController
+}
+
+// NewIncrementalExecution builds an execution whose violations trigger
+// incremental re-analysis. The system's optimistic analysis is mutated by
+// restores, so construct a fresh System per execution context when isolation
+// matters.
+func (s *System) NewIncrementalExecution(track bool) *IncrementalExecution {
+	ctrl := &IncrementalController{opt: s.Optimistic}
+	ctrl.refresh()
+	mc := interp.New(s.Module, interp.Config{
+		Hooks:         ctrl,
+		Instr:         fullInstrumentation(s.Module, s.Optimistic),
+		TrackPointsTo: track,
+	})
+	return &IncrementalExecution{Machine: mc, Controller: ctrl}
+}
+
+// Run executes the entry function under incremental monitoring.
+func (e *IncrementalExecution) Run(entry string, inputs []int64) *interp.Trace {
+	return e.Machine.Run(entry, inputs)
+}
+
+// refresh rebuilds the CFI policy and monitor runtime from the (possibly
+// restored) analysis state.
+func (c *IncrementalController) refresh() {
+	c.policy = cfi.PolicyFrom(c.opt)
+	rt, _ := memview.NewRuntimeWithHandler(c.opt, c)
+	c.runtime = rt
+}
+
+// OnViolation implements memview.ViolationHandler: find the violated
+// invariant, restore its constraints incrementally, and refresh the policy
+// and monitors.
+func (c *IncrementalController) OnViolation(v memview.Violation) {
+	c.Violations = append(c.Violations, v)
+	for _, rec := range c.opt.Invariants() {
+		if rec.Kind != v.Kind {
+			continue
+		}
+		match := rec.Site == v.Site
+		if !match && rec.Kind == invariant.PWC {
+			for _, s := range rec.CycleFieldSites {
+				if s == v.Site {
+					match = true
+					break
+				}
+			}
+		}
+		if !match {
+			continue
+		}
+		if err := c.opt.Restore(rec); err == nil {
+			c.Restores++
+			c.refresh()
+		}
+		return
+	}
+}
+
+// PtrAdd forwards to the current monitor runtime.
+func (c *IncrementalController) PtrAdd(site int, base interp.Value) { c.runtime.PtrAdd(site, base) }
+
+// FieldAddr forwards to the current monitor runtime.
+func (c *IncrementalController) FieldAddr(site int, base, result interp.Value) {
+	c.runtime.FieldAddr(site, base, result)
+}
+
+// CtxCall forwards to the current monitor runtime.
+func (c *IncrementalController) CtxCall(site int, args []interp.Value) {
+	c.runtime.CtxCall(site, args)
+}
+
+// CtxCheck forwards to the current monitor runtime.
+func (c *IncrementalController) CtxCheck(site int, vals []interp.Value) {
+	c.runtime.CtxCheck(site, vals)
+}
+
+// CheckICall consults the current (possibly refreshed) CFI policy.
+func (c *IncrementalController) CheckICall(site int, target string) bool {
+	c.CFILookups++
+	return c.policy.Permits(site, target)
+}
+
+var _ interp.Hooks = (*IncrementalController)(nil)
+
+// fullInstrumentation instruments every PtrAdd and FieldAddr site plus all
+// Ctx sites of the current invariants. Restored analyses may grow PA filter
+// sets at sites that previously filtered nothing, so all arithmetic and
+// field-access sites must carry hooks from the start (the hooks no-op while
+// the runtime has no entry for a site).
+func fullInstrumentation(m *ir.Module, opt *pointsto.Result) *interp.Instrumentation {
+	ins := &interp.Instrumentation{
+		PtrAddSites: map[int]bool{},
+		FieldSites:  map[int]bool{},
+		CtxCallArgs: map[int][]int{},
+		CtxChecks:   map[int][]invariant.CtxSample{},
+		CheckICalls: true,
+	}
+	for _, f := range m.Funcs {
+		f.Instrs(func(_ *ir.Block, in ir.Instr) {
+			switch in.(type) {
+			case *ir.PtrAdd:
+				ins.PtrAddSites[ir.InstrID(in)] = true
+			case *ir.FieldAddr:
+				ins.FieldSites[ir.InstrID(in)] = true
+			}
+		})
+	}
+	for _, rec := range opt.Invariants() {
+		if rec.Kind != invariant.Ctx {
+			continue
+		}
+		ins.CtxChecks[rec.Site] = rec.CtxSamples
+		for _, cs := range rec.Callsites {
+			ins.CtxCallArgs[cs] = rec.CtxParams
+		}
+	}
+	return ins
+}

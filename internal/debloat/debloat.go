@@ -1,0 +1,115 @@
+// Package debloat implements the software-debloating use case sketched in
+// the paper's Discussion (§8): the points-to-derived callgraph determines
+// which functions are reachable from an entry point, and everything else is
+// removed (statically) or marked inaccessible (dynamically). A more precise
+// analysis removes more code; Kaleidoscope's optimistic callgraph therefore
+// debloats more aggressively than the fallback, and the memory-view switch
+// doubles as the §8 "restore executable access" mechanism: functions
+// re-admitted by the fallback view become callable again after a violation.
+package debloat
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/pointsto"
+)
+
+// Reachable computes the set of functions reachable from entry under the
+// callgraph implied by a points-to result: direct callees plus, at each
+// indirect callsite of a reachable function, the result's permitted targets.
+func Reachable(r *pointsto.Result, entry string) map[string]bool {
+	mod := r.Module()
+	seen := map[string]bool{}
+	work := []string{entry}
+	for len(work) > 0 {
+		name := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[name] {
+			continue
+		}
+		f := mod.Func(name)
+		if f == nil {
+			continue
+		}
+		seen[name] = true
+		f.Instrs(func(_ *ir.Block, in ir.Instr) {
+			switch in := in.(type) {
+			case *ir.Call:
+				work = append(work, in.Callee)
+			case *ir.ICall:
+				work = append(work, r.CallTargets(ir.InstrID(in))...)
+			}
+		})
+	}
+	return seen
+}
+
+// Report compares the debloating decisions of the optimistic and fallback
+// analyses for one program.
+type Report struct {
+	Entry       string
+	Total       int // functions in the module
+	KeepFall    []string
+	KeepOpt     []string
+	RemovedFall []string
+	RemovedOpt  []string
+}
+
+// Compute builds the debloating report for a system.
+func Compute(sys *core.System, entry string) *Report {
+	rep := &Report{Entry: entry, Total: len(sys.Module.Funcs)}
+	fall := Reachable(sys.Fallback, entry)
+	opt := Reachable(sys.Optimistic, entry)
+	for _, f := range sys.Module.Funcs {
+		if fall[f.Name] {
+			rep.KeepFall = append(rep.KeepFall, f.Name)
+		} else {
+			rep.RemovedFall = append(rep.RemovedFall, f.Name)
+		}
+		if opt[f.Name] {
+			rep.KeepOpt = append(rep.KeepOpt, f.Name)
+		} else {
+			rep.RemovedOpt = append(rep.RemovedOpt, f.Name)
+		}
+	}
+	sort.Strings(rep.KeepFall)
+	sort.Strings(rep.KeepOpt)
+	sort.Strings(rep.RemovedFall)
+	sort.Strings(rep.RemovedOpt)
+	return rep
+}
+
+// ReductionFallback returns the fraction of functions the fallback analysis
+// debloats.
+func (r *Report) ReductionFallback() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(len(r.RemovedFall)) / float64(r.Total)
+}
+
+// ReductionOptimistic returns the fraction the optimistic analysis debloats.
+func (r *Report) ReductionOptimistic() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(len(r.RemovedOpt)) / float64(r.Total)
+}
+
+// Sound reports whether every function in keep-set coverage is consistent:
+// the optimistic keep set must be a subset of the fallback keep set (more
+// precision can only remove more).
+func (r *Report) Sound() bool {
+	keep := map[string]bool{}
+	for _, f := range r.KeepFall {
+		keep[f] = true
+	}
+	for _, f := range r.KeepOpt {
+		if !keep[f] {
+			return false
+		}
+	}
+	return true
+}

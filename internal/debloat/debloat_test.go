@@ -1,0 +1,189 @@
+package debloat
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/invariant"
+	"repro/internal/minic"
+	"repro/internal/workload"
+)
+
+// debloatSrc has a handler only reachable through an imprecise callgraph
+// edge: the baseline analysis keeps dead_handler (the collapsed struct makes
+// it a possible icall target), the optimistic analysis removes it. Function
+// never_called is unreachable under both.
+const debloatSrc = `
+struct plugin { fn handler; int* data; }
+plugin mod;
+int buff[16];
+
+int live_handler(int* x) { return 1; }
+int dead_handler(int* x) { return 2; }
+int never_called(int* x) { return 3; }
+
+void smear(char* s, fn v) {
+  int i;
+  i = input();
+  *(s + i) = v;
+}
+
+int main() {
+  char* p;
+  fn d;
+  mod.handler = &live_handler;
+  d = &dead_handler;
+  p = buff;
+  if (input() % 7 == 9) {
+    p = &mod;
+  }
+  smear(p, d);
+  return mod.handler(null);
+}
+`
+
+func TestComputeSeparatesViews(t *testing.T) {
+	m, err := minic.Compile("debloat", debloatSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.Analyze(m, invariant.All())
+	rep := Compute(sys, "main")
+	if !rep.Sound() {
+		t.Fatal("optimistic keep set not a subset of fallback keep set")
+	}
+	inFall := map[string]bool{}
+	for _, f := range rep.KeepFall {
+		inFall[f] = true
+	}
+	inOpt := map[string]bool{}
+	for _, f := range rep.KeepOpt {
+		inOpt[f] = true
+	}
+	if !inFall["dead_handler"] {
+		t.Error("fallback should keep dead_handler (imprecise callgraph)")
+	}
+	if inOpt["dead_handler"] {
+		t.Error("optimistic analysis should debloat dead_handler")
+	}
+	if !inOpt["live_handler"] || !inOpt["main"] || !inOpt["smear"] {
+		t.Errorf("optimistic keep set missing live code: %v", rep.KeepOpt)
+	}
+	if inFall["never_called"] || inOpt["never_called"] {
+		t.Error("never_called kept by some view")
+	}
+	if rep.ReductionOptimistic() <= rep.ReductionFallback() {
+		t.Errorf("optimistic reduction %.2f should exceed fallback %.2f",
+			rep.ReductionOptimistic(), rep.ReductionFallback())
+	}
+}
+
+// Every function that actually executes must be in the optimistic keep set
+// on violation-free runs (dynamic debloating soundness, §8).
+func TestDebloatDynamicSoundnessOnWorkloads(t *testing.T) {
+	for _, app := range workload.Apps() {
+		t.Run(app.Name, func(t *testing.T) {
+			sys := core.Analyze(app.MustModule(), invariant.All())
+			rep := Compute(sys, "main")
+			if !rep.Sound() {
+				t.Fatal("keep sets inconsistent")
+			}
+			keep := map[string]bool{}
+			for _, f := range rep.KeepOpt {
+				keep[f] = true
+			}
+			h := sys.Harden()
+			e := h.NewExecution(true)
+			tr := e.Run("main", app.Requests(40, 1))
+			if tr.Err != nil {
+				t.Fatalf("run: %v", tr.Err)
+			}
+			if e.Switcher.Switched() {
+				t.Skip("invariant violated; dynamic restore applies instead")
+			}
+			// Observed icall targets must be kept code.
+			for site, targets := range tr.ICallObserved {
+				for fn := range targets {
+					if !keep[fn] {
+						t.Errorf("executed %s (icall #%d) was debloated optimistically", fn, site)
+					}
+				}
+			}
+		})
+	}
+}
+
+// restoreSrc has a LIVE violating branch: when the first input is non-zero,
+// the smear really does overwrite mod.handler with the debloated handler.
+const restoreSrc = `
+struct plugin { fn handler; int* data; }
+plugin mod;
+int buff[16];
+
+int live_handler(int* x) { return 1; }
+int dead_handler(int* x) { return 2; }
+
+void smear(char* s, fn v, int off) {
+  *(s + off) = v;
+}
+
+int main() {
+  char* p;
+  fn d;
+  mod.handler = &live_handler;
+  d = &dead_handler;
+  p = buff;
+  if (input()) {
+    p = &mod;
+  }
+  smear(p, d, 0);
+  return mod.handler(null);
+}
+`
+
+// Violation-triggered restore (§8): after the memory-view switch, a function
+// that only the fallback callgraph admits becomes callable again.
+func TestDebloatRestoreOnViolation(t *testing.T) {
+	m, err := minic.Compile("restore", restoreSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.Analyze(m, invariant.All())
+	rep := Compute(sys, "main")
+	optKeep := map[string]bool{}
+	for _, f := range rep.KeepOpt {
+		optKeep[f] = true
+	}
+	fallKeep := map[string]bool{}
+	for _, f := range rep.KeepFall {
+		fallKeep[f] = true
+	}
+	if optKeep["dead_handler"] {
+		t.Fatal("dead_handler should be debloated optimistically")
+	}
+	if !fallKeep["dead_handler"] {
+		t.Fatal("fallback must keep dead_handler")
+	}
+
+	h := sys.Harden()
+	// Clean run: the debloated function never executes.
+	e := h.NewExecution(false)
+	tr := e.Run("main", []int64{0})
+	if tr.Err != nil || tr.Result != 1 {
+		t.Fatalf("clean run: err=%v result=%d", tr.Err, tr.Result)
+	}
+	// Violating run: the PA monitor fires before the overwrite, the view
+	// switches, and the debloated handler's access is restored — the icall
+	// to dead_handler succeeds under the fallback view.
+	e2 := h.NewExecution(false)
+	tr2 := e2.Run("main", []int64{1})
+	if tr2.Err != nil {
+		t.Fatalf("violating run: %v", tr2.Err)
+	}
+	if !e2.Switcher.Switched() {
+		t.Fatal("no view switch on violating run")
+	}
+	if tr2.Result != 2 {
+		t.Fatalf("result = %d, want 2 (restored dead_handler)", tr2.Result)
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteCSVs exports the analysis results as CSV files, mirroring the paper's
+// artifact output ("CSV files containing the points-to sets and CFI
+// policies", Artifact Appendix A.2). Per application it writes:
+//
+//	pts_<app>.csv     pointer, then one size column per configuration
+//	cfi_<app>.csv     callsite, then target count and target list per config
+//	table3.csv        the aggregate Table 3 rows
+func WriteCSVs(dir string, data []*AppData) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	names := ConfigNames()
+
+	t3, err := os.Create(filepath.Join(dir, "table3.csv"))
+	if err != nil {
+		return err
+	}
+	defer t3.Close()
+	t3w := csv.NewWriter(t3)
+	header := append([]string{"application", "metric"}, names...)
+	if err := t3w.Write(header); err != nil {
+		return err
+	}
+	for _, row := range Table3Data(data) {
+		avg := []string{row.App, "avg"}
+		max := []string{row.App, "max"}
+		for _, n := range names {
+			avg = append(avg, fmt.Sprintf("%.2f", row.Avg[n]))
+			max = append(max, fmt.Sprintf("%d", row.Max[n]))
+		}
+		if err := t3w.Write(avg); err != nil {
+			return err
+		}
+		if err := t3w.Write(max); err != nil {
+			return err
+		}
+	}
+	t3w.Flush()
+	if err := t3w.Error(); err != nil {
+		return err
+	}
+
+	for _, d := range data {
+		if err := writeAppPts(dir, d, names); err != nil {
+			return err
+		}
+		if err := writeAppCFI(dir, d, names); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeAppPts(dir string, d *AppData, names []string) error {
+	f, err := os.Create(filepath.Join(dir, "pts_"+d.App.Name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(append([]string{"pointer"}, names...)); err != nil {
+		return err
+	}
+	base := d.Systems["Baseline"]
+	pop := base.Population()
+	for i, p := range pop {
+		label := p.Fn + ":" + p.Reg
+		if p.Reg == "" {
+			label = "ret(" + p.Fn + ")"
+		}
+		row := []string{label}
+		for _, n := range names {
+			row = append(row, fmt.Sprintf("%d", d.Sizes[n][i]))
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeAppCFI(dir string, d *AppData, names []string) error {
+	f, err := os.Create(filepath.Join(dir, "cfi_"+d.App.Name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{"callsite"}
+	for _, n := range names {
+		header = append(header, n+"_count", n+"_targets")
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	base := d.Systems["Baseline"].Harden().Optimistic
+	for _, site := range base.Sites {
+		row := []string{fmt.Sprintf("%d", site)}
+		for _, n := range names {
+			p := d.Systems[n].Harden().Optimistic
+			targets := p.Targets[site]
+			row = append(row, fmt.Sprintf("%d", len(targets)), strings.Join(targets, ";"))
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

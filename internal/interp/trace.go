@@ -1,0 +1,169 @@
+package interp
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// RegPt identifies a register for dynamic points-to observation.
+type RegPt struct {
+	Fn  string
+	Reg string
+}
+
+// SlotPt identifies an analysis slot of an abstract object.
+type SlotPt struct {
+	Obj  AbsKey
+	Slot int
+}
+
+// branchEdge is one direction of a conditional branch.
+type branchEdge struct {
+	site  int
+	taken bool
+}
+
+// Trace collects the observable behaviour of one Run.
+type Trace struct {
+	Outputs []int64
+	Result  int64
+	Steps   int64
+	Err     error
+
+	// MemOps counts executed loads and stores (the denominator of the
+	// paper's monitor-check density figure).
+	MemOps int64
+
+	totalBranches int
+	branches      map[branchEdge]int // edge -> hit count
+
+	// ICallObserved maps indirect callsites to the function targets that
+	// actually executed (the "Runtime Observed" series of Figure 1).
+	ICallObserved map[int]map[string]bool
+
+	// Dynamic points-to observations (TrackPointsTo only).
+	RegPoints  map[RegPt]map[AbsKey]bool
+	SlotPoints map[SlotPt]map[AbsKey]bool
+
+	// monitorsExecuted records which instrumented monitor sites fired.
+	monitorsExecuted map[int]bool
+}
+
+func newTrace(m *ir.Module) *Trace {
+	t := &Trace{
+		branches:         map[branchEdge]int{},
+		ICallObserved:    map[int]map[string]bool{},
+		RegPoints:        map[RegPt]map[AbsKey]bool{},
+		SlotPoints:       map[SlotPt]map[AbsKey]bool{},
+		monitorsExecuted: map[int]bool{},
+	}
+	for _, f := range m.Funcs {
+		f.Instrs(func(_ *ir.Block, in ir.Instr) {
+			if _, ok := in.(*ir.CondJump); ok {
+				t.totalBranches += 2
+			}
+		})
+	}
+	return t
+}
+
+func (t *Trace) recordBranch(site int, taken bool) { t.branches[branchEdge{site, taken}]++ }
+
+func (t *Trace) recordICall(site int, target string) {
+	m := t.ICallObserved[site]
+	if m == nil {
+		m = map[string]bool{}
+		t.ICallObserved[site] = m
+	}
+	m[target] = true
+}
+
+func (t *Trace) recordReg(fn, reg string, key AbsKey) {
+	p := RegPt{fn, reg}
+	m := t.RegPoints[p]
+	if m == nil {
+		m = map[AbsKey]bool{}
+		t.RegPoints[p] = m
+	}
+	m[key] = true
+}
+
+func (t *Trace) recordSlot(obj AbsKey, slot int, key AbsKey) {
+	p := SlotPt{obj, slot}
+	m := t.SlotPoints[p]
+	if m == nil {
+		m = map[AbsKey]bool{}
+		t.SlotPoints[p] = m
+	}
+	m[key] = true
+}
+
+func (t *Trace) recordMonitor(site int) { t.monitorsExecuted[site] = true }
+
+// Merge folds another trace's coverage and observations into t (used to
+// aggregate multi-request campaigns).
+func (t *Trace) Merge(o *Trace) {
+	for e, n := range o.branches {
+		t.branches[e] += n
+	}
+	for site, targets := range o.ICallObserved {
+		for tg := range targets {
+			t.recordICall(site, tg)
+		}
+	}
+	for p, keys := range o.RegPoints {
+		for k := range keys {
+			t.recordReg(p.Fn, p.Reg, k)
+		}
+	}
+	for p, keys := range o.SlotPoints {
+		for k := range keys {
+			t.recordSlot(p.Obj, p.Slot, k)
+		}
+	}
+	for s := range o.monitorsExecuted {
+		t.monitorsExecuted[s] = true
+	}
+	t.Steps += o.Steps
+	t.MemOps += o.MemOps
+}
+
+// BranchCoverage returns (executed, total) branch edges.
+func (t *Trace) BranchCoverage() (executed, total int) {
+	return len(t.branches), t.totalBranches
+}
+
+// BranchBuckets returns, per executed branch edge, the AFL-style log2 hit
+// bucket (1, 2, 3-4, 5-8, ...). Fuzzers use new buckets as a coverage
+// signal.
+func (t *Trace) BranchBuckets() map[[2]int]int {
+	out := make(map[[2]int]int, len(t.branches))
+	for e, n := range t.branches {
+		b := 0
+		for n > 0 {
+			n >>= 1
+			b++
+		}
+		k := [2]int{e.site, 0}
+		if e.taken {
+			k[1] = 1
+		}
+		out[k] = b
+	}
+	return out
+}
+
+// MonitorsExecuted returns the number of distinct monitor sites that fired.
+func (t *Trace) MonitorsExecuted() int { return len(t.monitorsExecuted) }
+
+// ObservedTargets returns the sorted observed targets of an indirect
+// callsite.
+func (t *Trace) ObservedTargets(site int) []string {
+	var out []string
+	for tg := range t.ICallObserved[site] {
+		out = append(out, tg)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,154 @@
+// Package interp executes KIR modules. It provides the runtime substrate the
+// paper obtains from native execution of hardened binaries: concrete memory
+// with per-object bounds, indirect-call dispatch guarded by CFI checks,
+// runtime-monitor hook points, branch coverage accounting, and dynamic
+// points-to observation (the "Runtime Observed" series of Figure 1).
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// ValueKind discriminates runtime values.
+type ValueKind uint8
+
+// Runtime value kinds.
+const (
+	KindInt ValueKind = iota // integer (0 doubles as the null pointer)
+	KindPtr                  // pointer to a slot of a runtime object
+	KindFn                   // function pointer
+)
+
+// Value is a runtime value: an integer, a pointer (object + runtime slot
+// offset), or a function pointer.
+type Value struct {
+	Kind ValueKind
+	Int  int64
+	Obj  *RObj
+	Off  int
+	Fn   string
+}
+
+// IntVal makes an integer value.
+func IntVal(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// PtrVal makes a pointer value.
+func PtrVal(obj *RObj, off int) Value { return Value{Kind: KindPtr, Obj: obj, Off: off} }
+
+// FnVal makes a function-pointer value.
+func FnVal(name string) Value { return Value{Kind: KindFn, Fn: name} }
+
+// IsNull reports whether v is the null pointer (integer zero).
+func (v Value) IsNull() bool { return v.Kind == KindInt && v.Int == 0 }
+
+// Truthy implements condition evaluation: non-zero integers and all pointers
+// are true.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case KindInt:
+		return v.Int != 0
+	default:
+		return true
+	}
+}
+
+// Equal implements == on runtime values. Pointers compare by object+offset;
+// a pointer equals an integer only if the integer is 0 (null) — and then the
+// comparison is false because a valid pointer is never null.
+func (v Value) Equal(w Value) bool {
+	if v.Kind != w.Kind {
+		return false // includes ptr == 0 (null): always false for live pointers
+	}
+	switch v.Kind {
+	case KindInt:
+		return v.Int == w.Int
+	case KindPtr:
+		return v.Obj == w.Obj && v.Off == w.Off
+	default:
+		return v.Fn == w.Fn
+	}
+}
+
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return fmt.Sprintf("%d", v.Int)
+	case KindPtr:
+		return fmt.Sprintf("&%s+%d", v.Obj.Label(), v.Off)
+	default:
+		return "&" + v.Fn
+	}
+}
+
+// AbsKey identifies the abstract (analysis-level) object a runtime object
+// corresponds to: globals and functions by name, stack/heap objects by
+// allocation-site instruction ID.
+type AbsKey struct {
+	Kind AbsKind
+	Name string // global/function name
+	Site int    // allocation instruction ID
+}
+
+// AbsKind mirrors the abstract object classes.
+type AbsKind uint8
+
+// Abstract object classes for runtime→analysis mapping.
+const (
+	AbsGlobal AbsKind = iota
+	AbsStack
+	AbsHeap
+	AbsFunc
+)
+
+func (k AbsKey) String() string {
+	switch k.Kind {
+	case AbsGlobal:
+		return "@" + k.Name
+	case AbsFunc:
+		return k.Name + "()"
+	case AbsStack:
+		return fmt.Sprintf("stack#%d", k.Site)
+	default:
+		return fmt.Sprintf("heap#%d", k.Site)
+	}
+}
+
+// RObj is a runtime memory object.
+type RObj struct {
+	Key    AbsKey
+	Type   ir.Type // nil for unknown-type heap objects
+	Slots  []Value
+	layout *ir.Layout // nil for unknown-type heap objects
+	name   string     // diagnostics
+}
+
+// Label renders the object for error messages.
+func (o *RObj) Label() string {
+	if o.name != "" {
+		return o.name
+	}
+	return o.Key.String()
+}
+
+// AnalysisSlot maps a runtime slot offset to the analysis slot it belongs to
+// (arrays collapse). Unknown-type objects map everything to slot 0.
+func (o *RObj) AnalysisSlot(off int) int {
+	if o.layout == nil || off < 0 || off >= len(o.layout.RToA) {
+		return 0
+	}
+	return o.layout.RToA[off]
+}
+
+// AbsValueKey returns the abstract identity a stored pointer value refers
+// to, and ok=false for plain integers.
+func AbsValueKey(v Value) (AbsKey, bool) {
+	switch v.Kind {
+	case KindPtr:
+		return v.Obj.Key, true
+	case KindFn:
+		return AbsKey{Kind: AbsFunc, Name: v.Fn}, true
+	}
+	return AbsKey{}, false
+}

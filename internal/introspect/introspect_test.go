@@ -1,0 +1,140 @@
+package introspect
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/invariant"
+	"repro/internal/minic"
+	"repro/internal/pointsto"
+)
+
+// A program whose collapsed struct floods a pointer's points-to set with
+// objects of several unrelated types.
+const floodSrc = `
+struct a { int* p; fn f; }
+struct b { int* p; fn f; }
+struct c { int* p; fn f; }
+a ga;
+b gb;
+c gc;
+int buf[8];
+int h(int* x) { return 1; }
+
+int main() {
+  char* p;
+  int i;
+  ga.f = &h;
+  gb.f = &h;
+  gc.f = &h;
+  p = buf;
+  if (input()) { p = &ga; }
+  if (input()) { p = &gb; }
+  if (input()) { p = &gc; }
+  i = input();
+  *(p + i) = 0;
+  return 0;
+}
+`
+
+func runIntrospection(t *testing.T, src string, growth, types int) *Framework {
+	t.Helper()
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := New()
+	fw.GrowthThreshold = growth
+	fw.TypeThreshold = types
+	a := pointsto.New(m, invariant.Config{})
+	a.SetTracer(fw)
+	a.Solve()
+	return fw
+}
+
+func TestFrameworkObservesUpdates(t *testing.T) {
+	fw := runIntrospection(t, floodSrc, 1000, 1000)
+	if fw.Updates == 0 || fw.ObjectsAdded == 0 {
+		t.Fatalf("no updates observed: %+v", fw)
+	}
+	if len(fw.Alerts()) != 0 {
+		t.Fatalf("alerts fired below thresholds: %v", fw.Alerts())
+	}
+}
+
+func TestTypeDiversityAlert(t *testing.T) {
+	fw := runIntrospection(t, floodSrc, 1000, 4)
+	var found bool
+	for _, a := range fw.Alerts() {
+		if a.Kind == TypeDiversityAlert && a.Types >= 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no type-diversity alert; alerts = %v", fw.Alerts())
+	}
+}
+
+func TestGrowthAlertAndBacktrack(t *testing.T) {
+	fw := runIntrospection(t, floodSrc, 4, 1000)
+	var derived *Alert
+	for i := range fw.Alerts() {
+		a := &fw.alerts[i]
+		if a.Kind == GrowthAlert {
+			if a.Derived {
+				derived = a
+			}
+		}
+	}
+	if len(fw.Alerts()) == 0 {
+		t.Fatal("no growth alerts at threshold 4")
+	}
+	if derived != nil && len(derived.Origin) == 0 {
+		t.Errorf("derived alert lacks origin backtrack: %v", *derived)
+	}
+}
+
+func TestAlertsDeduplicatedPerNode(t *testing.T) {
+	fw := runIntrospection(t, floodSrc, 2, 1000)
+	seen := map[string]int{}
+	for _, a := range fw.Alerts() {
+		if a.Kind == GrowthAlert {
+			seen[a.Node]++
+		}
+	}
+	for node, n := range seen {
+		if n > 1 {
+			t.Errorf("node %s alerted %d times", node, n)
+		}
+	}
+}
+
+func TestCycleCounting(t *testing.T) {
+	src := `
+int x;
+int main() {
+  int* p;
+  int* q;
+  p = &x;
+  while (input()) {
+    q = p;
+    p = q;
+  }
+  return 0;
+}
+`
+	fw := runIntrospection(t, src, 1000, 1000)
+	if fw.Cycles == 0 {
+		t.Error("no cycle events observed")
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	fw := runIntrospection(t, floodSrc, 4, 4)
+	rep := fw.Report()
+	for _, want := range []string{"introspection:", "alerts", "|pts|="} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

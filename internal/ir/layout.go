@@ -1,0 +1,87 @@
+package ir
+
+// Layout describes how a type maps onto memory slots in the two models used
+// by this repository:
+//
+//   - the runtime model (interpreter): arrays are fully expanded, every
+//     scalar gets its own slot;
+//   - the analysis model (points-to objects): arrays are collapsed to a
+//     single element (array-index insensitivity, as in the paper's baseline
+//     SVF/Andersen configuration), so an object has one analysis slot per
+//     FlattenedFields entry.
+//
+// RToA maps a runtime slot to its analysis slot, which is how runtime
+// monitors and dynamic points-to observation relate concrete addresses to
+// analysis field objects.
+type Layout struct {
+	Type         Type
+	RuntimeSize  int
+	AnalysisSize int
+	RToA         []int
+	// FieldRuntimeOff[k] / FieldAnalysisOff[k] give the slot offsets of
+	// field k when Type is a struct.
+	FieldRuntimeOff  []int
+	FieldAnalysisOff []int
+	Flat             []FlatField // analysis slots, for diagnostics
+}
+
+// Layouts caches Layout values per type.
+type Layouts struct {
+	cache map[Type]*Layout
+}
+
+// NewLayouts returns an empty layout cache.
+func NewLayouts() *Layouts { return &Layouts{cache: map[Type]*Layout{}} }
+
+// Of computes (or returns cached) layout for t.
+func (ls *Layouts) Of(t Type) *Layout {
+	if l, ok := ls.cache[t]; ok {
+		return l
+	}
+	l := ls.compute(t)
+	ls.cache[t] = l
+	return l
+}
+
+func (ls *Layouts) compute(t Type) *Layout {
+	l := &Layout{Type: t, Flat: FlattenedFields(t)}
+	l.AnalysisSize = len(l.Flat)
+	switch t := t.(type) {
+	case IntType, *PointerType, FuncType:
+		l.RuntimeSize = 1
+		l.RToA = []int{0}
+	case *StructType:
+		if len(t.Fields) == 0 {
+			l.RuntimeSize = 1
+			l.RToA = []int{0}
+			return l
+		}
+		l.FieldRuntimeOff = make([]int, len(t.Fields))
+		l.FieldAnalysisOff = make([]int, len(t.Fields))
+		rOff, aOff := 0, 0
+		for k, f := range t.Fields {
+			l.FieldRuntimeOff[k] = rOff
+			l.FieldAnalysisOff[k] = aOff
+			sub := ls.Of(f.Type)
+			for _, a := range sub.RToA {
+				l.RToA = append(l.RToA, aOff+a)
+			}
+			rOff += sub.RuntimeSize
+			aOff += sub.AnalysisSize
+		}
+		l.RuntimeSize = rOff
+	case *ArrayType:
+		sub := ls.Of(t.Elem)
+		l.RuntimeSize = t.Len * sub.RuntimeSize
+		l.RToA = make([]int, 0, l.RuntimeSize)
+		for i := 0; i < t.Len; i++ {
+			// every element maps onto the same collapsed analysis slots
+			l.RToA = append(l.RToA, sub.RToA...)
+		}
+		if t.Len == 0 {
+			l.RuntimeSize = 1
+			l.RToA = []int{0}
+		}
+	}
+	return l
+}

@@ -1,0 +1,307 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Global is a module-level object. All access is by address (AddrGlobal),
+// mirroring LLVM globals.
+type Global struct {
+	Name string
+	Type Type
+}
+
+// Block is a basic block: a label and a straight-line instruction list ending
+// in a terminator.
+type Block struct {
+	Name   string
+	Instrs []Instr
+}
+
+// Terminator returns the block's final instruction, or nil if absent.
+func (b *Block) Terminator() Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if IsTerminator(last) {
+		return last
+	}
+	return nil
+}
+
+// Function is a KIR function. Params are register names holding arguments.
+type Function struct {
+	Name         string
+	Params       []string
+	ParamTypes   []Type
+	RetType      Type // nil means void
+	Blocks       []*Block
+	AddressTaken bool // set by Finalize: the function's address is taken somewhere
+}
+
+// Entry returns the entry block.
+func (f *Function) Entry() *Block { return f.Blocks[0] }
+
+// Block returns the named block, or nil.
+func (f *Function) Block(name string) *Block {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Instrs iterates over all instructions in block order.
+func (f *Function) Instrs(visit func(b *Block, in Instr)) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			visit(b, in)
+		}
+	}
+}
+
+// Module is a whole KIR program.
+type Module struct {
+	Name    string
+	Structs map[string]*StructType
+	Globals []*Global
+	Funcs   []*Function
+
+	funcIndex   map[string]*Function
+	globalIndex map[string]*Global
+	instrByID   map[int]Instr
+	instrFunc   map[int]*Function
+	nextID      int
+	finalized   bool
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:    name,
+		Structs: map[string]*StructType{},
+	}
+}
+
+// AddGlobal registers a global object.
+func (m *Module) AddGlobal(name string, t Type) *Global {
+	g := &Global{Name: name, Type: t}
+	m.Globals = append(m.Globals, g)
+	return g
+}
+
+// AddFunc registers a function.
+func (m *Module) AddFunc(f *Function) { m.Funcs = append(m.Funcs, f) }
+
+// Func returns the named function, or nil.
+func (m *Module) Func(name string) *Function {
+	if m.funcIndex != nil {
+		return m.funcIndex[name]
+	}
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Global returns the named global, or nil.
+func (m *Module) Global(name string) *Global {
+	if m.globalIndex != nil {
+		return m.globalIndex[name]
+	}
+	for _, g := range m.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// InstrByID returns the instruction with the given Finalize-assigned ID.
+func (m *Module) InstrByID(id int) Instr { return m.instrByID[id] }
+
+// FuncOfInstr returns the function containing the instruction with id.
+func (m *Module) FuncOfInstr(id int) *Function { return m.instrFunc[id] }
+
+// NumInstrs returns the number of instructions in the module (post-Finalize).
+func (m *Module) NumInstrs() int { return m.nextID - 1 }
+
+// Finalize assigns module-unique instruction IDs, builds lookup indexes, and
+// computes address-taken facts. It must be called once construction is done
+// and before analysis or execution.
+func (m *Module) Finalize() error {
+	if m.finalized {
+		return nil
+	}
+	m.funcIndex = map[string]*Function{}
+	m.globalIndex = map[string]*Global{}
+	m.instrByID = map[int]Instr{}
+	m.instrFunc = map[int]*Function{}
+	m.nextID = 1
+	for _, g := range m.Globals {
+		if _, dup := m.globalIndex[g.Name]; dup {
+			return fmt.Errorf("ir: duplicate global %q", g.Name)
+		}
+		m.globalIndex[g.Name] = g
+	}
+	for _, f := range m.Funcs {
+		if _, dup := m.funcIndex[f.Name]; dup {
+			return fmt.Errorf("ir: duplicate function %q", f.Name)
+		}
+		m.funcIndex[f.Name] = f
+	}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				in.base().ID = m.nextID
+				m.instrByID[m.nextID] = in
+				m.instrFunc[m.nextID] = f
+				m.nextID++
+				if af, ok := in.(*AddrFunc); ok {
+					tgt := m.funcIndex[af.Func]
+					if tgt == nil {
+						return fmt.Errorf("ir: %s: address of unknown function %q", f.Name, af.Func)
+					}
+					tgt.AddressTaken = true
+				}
+			}
+		}
+	}
+	m.finalized = true
+	return m.Validate()
+}
+
+// Validate checks structural well-formedness: blocks end in terminators,
+// referenced blocks/globals/functions exist, registers are defined before
+// use within a function (conservatively: defined somewhere in the function),
+// and field indices are in range.
+func (m *Module) Validate() error {
+	for _, f := range m.Funcs {
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("ir: function %s has no blocks", f.Name)
+		}
+		if len(f.Params) != len(f.ParamTypes) {
+			return fmt.Errorf("ir: function %s: %d params, %d param types", f.Name, len(f.Params), len(f.ParamTypes))
+		}
+		blocks := map[string]bool{}
+		for _, b := range f.Blocks {
+			if blocks[b.Name] {
+				return fmt.Errorf("ir: %s: duplicate block %q", f.Name, b.Name)
+			}
+			blocks[b.Name] = true
+		}
+		defined := map[string]bool{}
+		for _, p := range f.Params {
+			defined[p] = true
+		}
+		f.Instrs(func(_ *Block, in Instr) {
+			if d := in.Def(); d != "" {
+				defined[d] = true
+			}
+		})
+		var err error
+		for _, b := range f.Blocks {
+			if b.Terminator() == nil {
+				return fmt.Errorf("ir: %s/%s: block does not end in a terminator", f.Name, b.Name)
+			}
+			for pos, in := range b.Instrs {
+				if IsTerminator(in) && pos != len(b.Instrs)-1 {
+					return fmt.Errorf("ir: %s/%s: terminator %q not at block end", f.Name, b.Name, in)
+				}
+				for _, u := range in.Uses() {
+					if !defined[u] {
+						return fmt.Errorf("ir: %s/%s: use of undefined register %q in %q", f.Name, b.Name, u, in)
+					}
+				}
+				switch in := in.(type) {
+				case *AddrGlobal:
+					if m.Global(in.Global) == nil {
+						err = fmt.Errorf("ir: %s: unknown global %q", f.Name, in.Global)
+					}
+				case *AddrFunc:
+					if m.Func(in.Func) == nil {
+						err = fmt.Errorf("ir: %s: unknown function %q", f.Name, in.Func)
+					}
+				case *Call:
+					if m.Func(in.Callee) == nil {
+						err = fmt.Errorf("ir: %s: call to unknown function %q", f.Name, in.Callee)
+					}
+				case *FieldAddr:
+					if in.Field < 0 || in.Field >= len(in.Struct.Fields) {
+						err = fmt.Errorf("ir: %s: field index %d out of range for %s", f.Name, in.Field, in.Struct.Name)
+					}
+				case *Jump:
+					if !blocks[in.Target] {
+						err = fmt.Errorf("ir: %s: jump to unknown block %q", f.Name, in.Target)
+					}
+				case *CondJump:
+					if !blocks[in.True] || !blocks[in.False] {
+						err = fmt.Errorf("ir: %s: branch to unknown block (%q/%q)", f.Name, in.True, in.False)
+					}
+				}
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// AddressTakenFuncs returns the names of all address-taken functions, sorted.
+func (m *Module) AddressTakenFuncs() []string {
+	var out []string
+	for _, f := range m.Funcs {
+		if f.AddressTaken {
+			out = append(out, f.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the whole module in KIR assembly syntax.
+func (m *Module) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s\n", m.Name)
+	names := make([]string, 0, len(m.Structs))
+	for n := range m.Structs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		st := m.Structs[n]
+		fmt.Fprintf(&b, "struct %s {", n)
+		for i, fl := range st.Fields {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			fmt.Fprintf(&b, " %s %s", fl.Type, fl.Name)
+		}
+		b.WriteString(" }\n")
+	}
+	for _, g := range m.Globals {
+		fmt.Fprintf(&b, "global @%s : %s\n", g.Name, g.Type)
+	}
+	for _, f := range m.Funcs {
+		fmt.Fprintf(&b, "\nfunc %s(%s)", f.Name, typeList(f.ParamTypes))
+		if f.RetType != nil {
+			fmt.Fprintf(&b, " -> %s", f.RetType)
+		}
+		b.WriteString(" {\n")
+		for _, blk := range f.Blocks {
+			fmt.Fprintf(&b, "%s:\n", blk.Name)
+			for _, in := range blk.Instrs {
+				fmt.Fprintf(&b, "  %s\n", in)
+			}
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}

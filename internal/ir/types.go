@@ -1,0 +1,215 @@
+// Package ir defines KIR, a small typed intermediate representation modeled
+// after the subset of LLVM IR that inclusion-based pointer analysis consumes:
+// address-taken objects (globals, stack allocations, heap allocations,
+// functions), loads, stores, copies, field addressing, arbitrary pointer
+// arithmetic, and direct/indirect calls.
+//
+// KIR programs are produced by the minic front-end (or constructed directly)
+// and consumed by the constraint builder, the solver, and the interpreter.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is the interface implemented by all KIR types.
+type Type interface {
+	String() string
+	isType()
+}
+
+// IntType is the sole scalar type (covers C's int/char/void in MiniC).
+type IntType struct{}
+
+func (IntType) isType()        {}
+func (IntType) String() string { return "int" }
+
+// Int is the canonical IntType instance.
+var Int = IntType{}
+
+// PointerType is a pointer to Elem.
+type PointerType struct {
+	Elem Type
+}
+
+func (*PointerType) isType() {}
+
+func (p *PointerType) String() string { return p.Elem.String() + "*" }
+
+// PointerTo returns the pointer type with element type t.
+func PointerTo(t Type) *PointerType { return &PointerType{Elem: t} }
+
+// FuncType is the type of a function pointer. KIR function pointers are
+// signature-erased, matching the paper's points-to-based (not type-based) CFI.
+type FuncType struct{}
+
+func (FuncType) isType()        {}
+func (FuncType) String() string { return "fn" }
+
+// Fn is the canonical FuncType instance.
+var Fn = FuncType{}
+
+// Field is a named member of a struct type.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// StructType is a named aggregate.
+type StructType struct {
+	Name   string
+	Fields []Field
+}
+
+func (*StructType) isType() {}
+
+func (s *StructType) String() string { return "struct " + s.Name }
+
+// FieldIndex returns the index of the named field, or -1.
+func (s *StructType) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ArrayType is a fixed-length array of Elem.
+type ArrayType struct {
+	Elem Type
+	Len  int
+}
+
+func (*ArrayType) isType() {}
+
+func (a *ArrayType) String() string { return fmt.Sprintf("%s[%d]", a.Elem, a.Len) }
+
+// NumSlots returns the number of flattened scalar slots a value of type t
+// occupies in the interpreter memory model and in the field-sensitive object
+// layout. Structs flatten recursively; arrays contribute their element slots
+// once per element for the interpreter, but the pointer analysis collapses
+// array elements (array-index insensitivity, as in the paper's baseline).
+func NumSlots(t Type) int {
+	switch t := t.(type) {
+	case IntType, *PointerType, FuncType:
+		return 1
+	case *StructType:
+		n := 0
+		for _, f := range t.Fields {
+			n += NumSlots(f.Type)
+		}
+		if n == 0 {
+			return 1
+		}
+		return n
+	case *ArrayType:
+		return t.Len * NumSlots(t.Elem)
+	default:
+		panic(fmt.Sprintf("ir: unknown type %T", t))
+	}
+}
+
+// FlattenedFields returns one entry per analysis-visible slot of type t,
+// collapsing arrays to a single element (index-insensitive). The returned
+// slice describes the layout used by field-sensitive points-to objects: entry
+// i holds the scalar type and a dotted path for diagnostics.
+func FlattenedFields(t Type) []FlatField {
+	var out []FlatField
+	flatten(t, "", &out)
+	return out
+}
+
+// FlatField describes one analysis slot of a flattened aggregate.
+type FlatField struct {
+	Path string // dotted path, e.g. "ctx.f_send"
+	Type Type   // scalar type at this slot
+}
+
+func flatten(t Type, prefix string, out *[]FlatField) {
+	switch t := t.(type) {
+	case IntType, *PointerType, FuncType:
+		*out = append(*out, FlatField{Path: prefix, Type: t})
+	case *StructType:
+		if len(t.Fields) == 0 {
+			*out = append(*out, FlatField{Path: prefix, Type: Int})
+			return
+		}
+		for _, f := range t.Fields {
+			p := f.Name
+			if prefix != "" {
+				p = prefix + "." + f.Name
+			}
+			flatten(f.Type, p, out)
+		}
+	case *ArrayType:
+		// Arrays are index-insensitive for the analysis: a single element
+		// stands for all of them.
+		p := prefix + "[]"
+		flatten(t.Elem, p, out)
+	default:
+		panic(fmt.Sprintf("ir: unknown type %T", t))
+	}
+}
+
+// TypeEqual reports structural equality of two types (structs by name).
+func TypeEqual(a, b Type) bool {
+	switch a := a.(type) {
+	case IntType:
+		_, ok := b.(IntType)
+		return ok
+	case FuncType:
+		_, ok := b.(FuncType)
+		return ok
+	case *PointerType:
+		bp, ok := b.(*PointerType)
+		return ok && TypeEqual(a.Elem, bp.Elem)
+	case *StructType:
+		bs, ok := b.(*StructType)
+		return ok && a.Name == bs.Name
+	case *ArrayType:
+		ba, ok := b.(*ArrayType)
+		return ok && a.Len == ba.Len && TypeEqual(a.Elem, ba.Elem)
+	}
+	return false
+}
+
+// IsPointerLike reports whether values of t can hold an address (pointer or
+// function pointer).
+func IsPointerLike(t Type) bool {
+	switch t.(type) {
+	case *PointerType, FuncType:
+		return true
+	}
+	return false
+}
+
+// IsStruct reports whether t is a (non-array) struct type.
+func IsStruct(t Type) bool {
+	_, ok := t.(*StructType)
+	return ok
+}
+
+// IsArray reports whether t is an array type.
+func IsArray(t Type) bool {
+	_, ok := t.(*ArrayType)
+	return ok
+}
+
+// BaseName renders a type for terse diagnostics ("plugin", "int*", ...).
+func BaseName(t Type) string {
+	if s, ok := t.(*StructType); ok {
+		return s.Name
+	}
+	return t.String()
+}
+
+// typeList renders parameter lists.
+func typeList(ts []Type) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, ", ")
+}

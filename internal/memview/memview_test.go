@@ -1,0 +1,96 @@
+package memview
+
+import (
+	"testing"
+
+	"repro/internal/invariant"
+)
+
+func twoViews() (*View, *View) {
+	opt := NewView("optimistic", map[int][]string{
+		1: {"good"},
+		2: {"a", "b"},
+	})
+	fb := NewView("fallback", map[int][]string{
+		1: {"good", "evil"},
+		2: {"a", "b", "c"},
+	})
+	return opt, fb
+}
+
+func TestViewPermits(t *testing.T) {
+	opt, _ := twoViews()
+	if !opt.Permits(1, "good") {
+		t.Error("optimistic denies good")
+	}
+	if opt.Permits(1, "evil") {
+		t.Error("optimistic permits evil")
+	}
+	if opt.Permits(99, "good") {
+		t.Error("unknown site permitted")
+	}
+}
+
+func TestViewAvgTargets(t *testing.T) {
+	opt, fb := twoViews()
+	if got := opt.AvgTargets(); got != 1.5 {
+		t.Errorf("optimistic avg = %v, want 1.5", got)
+	}
+	if got := fb.AvgTargets(); got != 2.5 {
+		t.Errorf("fallback avg = %v, want 2.5", got)
+	}
+	if got := NewView("empty", nil).AvgTargets(); got != 0 {
+		t.Errorf("empty avg = %v", got)
+	}
+}
+
+func TestSwitcherLifecycle(t *testing.T) {
+	opt, fb := twoViews()
+	sw, secret := NewSwitcher(opt, fb)
+	if secret == 0 {
+		t.Fatal("zero gate secret")
+	}
+	if sw.Active() != opt || sw.Switched() {
+		t.Fatal("switcher must start on the optimistic view")
+	}
+	v := Violation{Kind: invariant.PA, Site: 42, Detail: "test"}
+	if err := sw.Switch(secret, v); err != nil {
+		t.Fatalf("legitimate switch rejected: %v", err)
+	}
+	if sw.Active() != fb || !sw.Switched() {
+		t.Fatal("switch did not install fallback view")
+	}
+	if got := sw.Violations(); len(got) != 1 || got[0].Site != 42 {
+		t.Fatalf("violations = %v", got)
+	}
+}
+
+func TestSwitcherSecureGateRejectsBadSecret(t *testing.T) {
+	opt, fb := twoViews()
+	sw, secret := NewSwitcher(opt, fb)
+	if err := sw.Switch(secret+1, Violation{}); err != ErrBadGate {
+		t.Fatalf("bad-gate switch error = %v, want ErrBadGate", err)
+	}
+	if sw.Switched() {
+		t.Fatal("illegitimate entry switched the view")
+	}
+	if len(sw.Violations()) != 0 {
+		t.Fatal("illegitimate entry recorded a violation")
+	}
+}
+
+func TestSecretsDiffer(t *testing.T) {
+	opt, fb := twoViews()
+	_, s1 := NewSwitcher(opt, fb)
+	_, s2 := NewSwitcher(opt, fb)
+	if s1 == s2 {
+		t.Error("two switchers share a gate secret")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Kind: invariant.PWC, Site: 7, Detail: "cycle formed"}
+	if s := v.String(); s == "" || len(s) < 10 {
+		t.Errorf("violation string = %q", s)
+	}
+}

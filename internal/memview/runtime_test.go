@@ -1,0 +1,208 @@
+package memview
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/invariant"
+	"repro/internal/minic"
+	"repro/internal/pointsto"
+)
+
+const rtSrc = `
+struct plugin { fn handler; int* data; }
+plugin mod;
+int buff[16];
+int cb(int* x) { return 1; }
+void smear(char* s, int i) {
+  *(s + i) = 0;
+}
+int main() {
+  char* p;
+  mod.handler = &cb;
+  p = buff;
+  if (input() % 7 == 9) {
+    p = &mod;
+  }
+  smear(p, 0);
+  return mod.handler(null);
+}
+`
+
+func optimisticResult(t *testing.T) *pointsto.Result {
+	t.Helper()
+	m, err := minic.Compile("rt", rtSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pointsto.New(m, invariant.All()).Solve()
+}
+
+func TestAbsKeyOf(t *testing.T) {
+	r := optimisticResult(t)
+	g := r.ObjectByGlobal("mod")
+	if key := AbsKeyOf(g); key.Kind != interp.AbsGlobal || key.Name != "mod" {
+		t.Errorf("global key = %+v", key)
+	}
+	f := r.ObjectByFunc("cb")
+	if key := AbsKeyOf(f); key.Kind != interp.AbsFunc || key.Name != "cb" {
+		t.Errorf("func key = %+v", key)
+	}
+	for _, o := range r.Objects() {
+		if o.Kind == pointsto.ObjStack {
+			if key := AbsKeyOf(o); key.Kind != interp.AbsStack || key.Site != o.Site {
+				t.Errorf("stack key = %+v for %s", key, o.Label())
+			}
+		}
+	}
+}
+
+// recorder collects violations without switching anything.
+type recorder struct{ got []Violation }
+
+func (r *recorder) OnViolation(v Violation) { r.got = append(r.got, v) }
+
+func TestPAMonitorFiresOnlyForFilteredObjects(t *testing.T) {
+	r := optimisticResult(t)
+	rec := &recorder{}
+	rt, ins := NewRuntimeWithHandler(r, rec)
+	var paSite int
+	for s := range ins.PtrAddSites {
+		paSite = s
+	}
+	if paSite == 0 {
+		t.Fatal("no PA monitor site")
+	}
+	mod := &interp.RObj{Key: interp.AbsKey{Kind: interp.AbsGlobal, Name: "mod"}, Slots: make([]interp.Value, 2)}
+	buff := &interp.RObj{Key: interp.AbsKey{Kind: interp.AbsGlobal, Name: "buff"}, Slots: make([]interp.Value, 16)}
+
+	rt.PtrAdd(paSite, interp.PtrVal(buff, 0))
+	if len(rec.got) != 0 {
+		t.Fatalf("benign base fired: %v", rec.got)
+	}
+	rt.PtrAdd(paSite, interp.IntVal(0))
+	if len(rec.got) != 0 {
+		t.Fatalf("null base fired: %v", rec.got)
+	}
+	rt.PtrAdd(paSite, interp.PtrVal(mod, 0))
+	if len(rec.got) != 1 || rec.got[0].Kind != invariant.PA {
+		t.Fatalf("filtered base did not fire: %v", rec.got)
+	}
+	if rt.ChecksPerformed != 3 {
+		t.Errorf("checks = %d, want 3", rt.ChecksPerformed)
+	}
+}
+
+func TestPWCMonitorDetectsAddressReuse(t *testing.T) {
+	// Build a runtime with a synthetic PWC invariant.
+	m, err := minic.Compile("rt", rtSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := pointsto.New(m, invariant.All()).Solve()
+	_ = r
+	// Use a hand-rolled runtime state through the public hook methods: fake
+	// the invariant by constructing a result with a PWC is hard here, so
+	// drive the real mbedtls-like fixture instead.
+	src := `
+struct cs { int* f1; int* f2; }
+void* arena(int n) { return malloc(n); }
+int main() {
+  cs** s1;
+  int** q;
+  cs* s2;
+  int* b;
+  cs* fresh;
+  s1 = arena(sizeof(cs));
+  q = arena(sizeof(cs));
+  fresh = arena(sizeof(cs));
+  *s1 = fresh;
+  while (input()) {
+    s2 = *s1;
+    b = &s2->f2;
+    *q = b;
+  }
+  return 0;
+}
+`
+	m2, err := minic.Compile("pwc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := pointsto.New(m2, invariant.Config{PWC: true}).Solve()
+	rec := &recorder{}
+	rt, ins := NewRuntimeWithHandler(r2, rec)
+	var site int
+	for s := range ins.FieldSites {
+		site = s
+	}
+	if site == 0 {
+		t.Skip("no PWC monitor in fixture")
+	}
+	obj := &interp.RObj{Key: interp.AbsKey{Kind: interp.AbsHeap, Site: 1}, Slots: make([]interp.Value, 2)}
+	base := interp.PtrVal(obj, 0)
+	generated := interp.PtrVal(obj, 1)
+	// First access: base is fresh, records `generated`.
+	rt.FieldAddr(site, base, generated)
+	if len(rec.got) != 0 {
+		t.Fatalf("fresh base fired: %v", rec.got)
+	}
+	// Reuse of the generated address as base: the PWC materializes.
+	rt.FieldAddr(site, generated, interp.PtrVal(obj, 2))
+	if len(rec.got) != 1 || rec.got[0].Kind != invariant.PWC {
+		t.Fatalf("address reuse did not fire: %v", rec.got)
+	}
+}
+
+func TestCtxMonitorComparesRecordedActuals(t *testing.T) {
+	src := `
+struct holder { int n; int** slot; }
+holder h1;
+holder h2;
+int* s1[2];
+int* s2[2];
+int v1;
+int v2;
+void insert(holder* b, int* v) {
+  b->slot[0] = v;
+}
+int main() {
+  h1.slot = s1;
+  h2.slot = s2;
+  insert(&h1, &v1);
+  insert(&h2, &v2);
+  return 0;
+}
+`
+	m, err := minic.Compile("ctx", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := pointsto.New(m, invariant.Config{Ctx: true}).Solve()
+	rec := &recorder{}
+	rt, ins := NewRuntimeWithHandler(r, rec)
+	var callSite, checkSite int
+	for s := range ins.CtxCallArgs {
+		callSite = s
+	}
+	for s := range ins.CtxChecks {
+		checkSite = s
+	}
+	if callSite == 0 || checkSite == 0 {
+		t.Fatal("ctx sites missing")
+	}
+	h1 := &interp.RObj{Key: interp.AbsKey{Kind: interp.AbsGlobal, Name: "h1"}, Slots: make([]interp.Value, 2)}
+	v1 := &interp.RObj{Key: interp.AbsKey{Kind: interp.AbsGlobal, Name: "v1"}, Slots: make([]interp.Value, 1)}
+	sneaky := &interp.RObj{Key: interp.AbsKey{Kind: interp.AbsGlobal, Name: "sneaky"}, Slots: make([]interp.Value, 2)}
+
+	args := []interp.Value{interp.PtrVal(h1, 0), interp.PtrVal(v1, 0)}
+	rt.CtxCall(callSite, args)
+	rt.CtxCheck(checkSite, args) // matches: no violation
+	if len(rec.got) != 0 {
+		t.Fatalf("matching check fired: %v", rec.got)
+	}
+	rt.CtxCheck(checkSite, []interp.Value{interp.PtrVal(sneaky, 0), interp.PtrVal(v1, 0)})
+	if len(rec.got) != 1 || rec.got[0].Kind != invariant.Ctx {
+		t.Fatalf("redirected argument did not fire: %v", rec.got)
+	}
+}

@@ -1,0 +1,192 @@
+package minic
+
+// The MiniC abstract syntax tree. Types on expressions are resolved during
+// lowering, not parsing, so the AST stores only syntactic type specs.
+
+// typeSpec is a parsed type: a base name ("int", "char", "void", "fn", or a
+// struct name) plus a pointer depth, e.g. "char**" is {Base: "char", Ptr: 2}.
+type typeSpec struct {
+	Base string
+	Ptr  int
+	Line int
+}
+
+type program struct {
+	Structs []*structDecl
+	Globals []*varDecl
+	Funcs   []*funcDecl
+}
+
+type structDecl struct {
+	Name   string
+	Fields []*varDecl
+	Line   int
+}
+
+// varDecl is a global, local, or field declaration. ArrayLen < 0 means not an
+// array.
+type varDecl struct {
+	Type     typeSpec
+	Name     string
+	ArrayLen int
+	Init     expr // optional initializer (locals only)
+	Line     int
+}
+
+type funcDecl struct {
+	Ret    typeSpec
+	Name   string
+	Params []*varDecl
+	Body   []stmt
+	Line   int
+}
+
+// Statements.
+type stmt interface{ stmtLine() int }
+
+type declStmt struct{ Decl *varDecl }
+
+func (s *declStmt) stmtLine() int { return s.Decl.Line }
+
+type assignStmt struct {
+	LHS  expr
+	RHS  expr
+	Line int
+}
+
+func (s *assignStmt) stmtLine() int { return s.Line }
+
+type exprStmt struct {
+	E    expr
+	Line int
+}
+
+func (s *exprStmt) stmtLine() int { return s.Line }
+
+type ifStmt struct {
+	Cond       expr
+	Then, Else []stmt
+	Line       int
+}
+
+func (s *ifStmt) stmtLine() int { return s.Line }
+
+type whileStmt struct {
+	Cond expr
+	Body []stmt
+	Line int
+}
+
+func (s *whileStmt) stmtLine() int { return s.Line }
+
+type forStmt struct {
+	Init stmt // optional
+	Cond expr // optional
+	Post stmt // optional (assignment or expression)
+	Body []stmt
+	Line int
+}
+
+func (s *forStmt) stmtLine() int { return s.Line }
+
+type breakStmt struct{ Line int }
+
+func (s *breakStmt) stmtLine() int { return s.Line }
+
+type continueStmt struct{ Line int }
+
+func (s *continueStmt) stmtLine() int { return s.Line }
+
+type returnStmt struct {
+	Value expr // may be nil
+	Line  int
+}
+
+func (s *returnStmt) stmtLine() int { return s.Line }
+
+// Expressions.
+type expr interface{ exprLine() int }
+
+type intLit struct {
+	Val  int64
+	Line int
+}
+
+func (e *intLit) exprLine() int { return e.Line }
+
+type nullLit struct{ Line int }
+
+func (e *nullLit) exprLine() int { return e.Line }
+
+type identExpr struct {
+	Name string
+	Line int
+}
+
+func (e *identExpr) exprLine() int { return e.Line }
+
+type unaryExpr struct {
+	Op   string // "&", "*", "-", "!"
+	X    expr
+	Line int
+}
+
+func (e *unaryExpr) exprLine() int { return e.Line }
+
+type binaryExpr struct {
+	Op   string
+	X, Y expr
+	Line int
+}
+
+func (e *binaryExpr) exprLine() int { return e.Line }
+
+type fieldExpr struct {
+	X     expr
+	Name  string
+	Arrow bool // true for ->, false for .
+	Line  int
+}
+
+func (e *fieldExpr) exprLine() int { return e.Line }
+
+type indexExpr struct {
+	X, Index expr
+	Line     int
+}
+
+func (e *indexExpr) exprLine() int { return e.Line }
+
+type callExpr struct {
+	Callee expr
+	Args   []expr
+	Line   int
+}
+
+func (e *callExpr) exprLine() int { return e.Line }
+
+type mallocExpr struct {
+	SizeOf *typeSpec // nil: malloc(n) with unknown type
+	Size   expr      // set when SizeOf is nil
+	Line   int
+}
+
+func (e *mallocExpr) exprLine() int { return e.Line }
+
+type sizeofExpr struct {
+	TS   typeSpec
+	Line int
+}
+
+func (e *sizeofExpr) exprLine() int { return e.Line }
+
+type inputExpr struct{ Line int }
+
+func (e *inputExpr) exprLine() int { return e.Line }
+
+type outputExpr struct {
+	X    expr
+	Line int
+}
+
+func (e *outputExpr) exprLine() int { return e.Line }

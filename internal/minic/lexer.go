@@ -1,0 +1,151 @@
+// Package minic implements a small C-like front-end that lowers source text
+// to KIR (internal/ir). MiniC covers the subset of C that drives pointer
+// analysis and the paper's imprecision idioms: structs with function-pointer
+// fields, multi-level pointers, arbitrary pointer arithmetic (*(p+i)),
+// heap allocation via malloc(sizeof(T)), function pointers and indirect
+// calls, arrays, and ordinary control flow.
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokPunct   // ( ) { } [ ] ; , . -> & * + - / % = == != < <= > >= ! && ||
+	tokKeyword // struct global if else while return int char void fn malloc sizeof input output null
+)
+
+var keywords = map[string]bool{
+	"struct": true, "if": true, "else": true, "while": true, "for": true,
+	"break": true, "continue": true, "return": true,
+	"int": true, "char": true, "void": true, "fn": true,
+	"malloc": true, "sizeof": true, "input": true, "output": true, "null": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// Error is a front-end diagnostic with a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) *Error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes src, returning all tokens (terminated by tokEOF).
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, line: l.line})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
+				l.pos++
+			}
+			text := l.src[start:l.pos]
+			kind := tokIdent
+			if keywords[text] {
+				kind = tokKeyword
+			}
+			l.toks = append(l.toks, token{kind: kind, text: text, line: l.line})
+		case c >= '0' && c <= '9':
+			start := l.pos
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokInt, text: l.src[start:l.pos], line: l.line})
+		default:
+			p, err := l.punct()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokPunct, text: p, line: l.line})
+		}
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case strings.HasPrefix(l.src[l.pos:], "//"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case strings.HasPrefix(l.src[l.pos:], "/*"):
+			l.pos += 2
+			for l.pos < len(l.src) && !strings.HasPrefix(l.src[l.pos:], "*/") {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+		default:
+			return
+		}
+	}
+}
+
+var twoCharPuncts = []string{"->", "==", "!=", "<=", ">=", "&&", "||"}
+
+func (l *lexer) punct() (string, error) {
+	rest := l.src[l.pos:]
+	for _, p := range twoCharPuncts {
+		if strings.HasPrefix(rest, p) {
+			l.pos += 2
+			return p, nil
+		}
+	}
+	c := l.src[l.pos]
+	if strings.ContainsRune("(){}[];,.&*+-/%=<>!", rune(c)) {
+		l.pos++
+		return string(c), nil
+	}
+	return "", errf(l.line, "unexpected character %q", c)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }

@@ -1,0 +1,440 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// runProgram compiles and executes, returning the result value.
+func runProgram(t *testing.T, src string, inputs []int64) int64 {
+	t.Helper()
+	m, err := Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	tr := interp.New(m, interp.Config{}).Run("main", inputs)
+	if tr.Err != nil {
+		t.Fatalf("run: %v", tr.Err)
+	}
+	return tr.Result
+}
+
+func TestUnaryOperators(t *testing.T) {
+	src := `
+int main() {
+  int a;
+  int b;
+  a = 5;
+  b = -a;
+  if (!b) { return 99; }
+  if (!(a == 5)) { return 98; }
+  return b + 10;
+}
+`
+	if got := runProgram(t, src, nil); got != 5 {
+		t.Errorf("result = %d, want 5", got)
+	}
+}
+
+func TestPointerComparisons(t *testing.T) {
+	src := `
+int g1;
+int g2;
+int main() {
+  int* p;
+  int* q;
+  p = &g1;
+  q = &g1;
+  if (p != q) { return 1; }
+  q = &g2;
+  if (p == q) { return 2; }
+  if (p == null) { return 3; }
+  p = null;
+  if (p != null) { return 4; }
+  return 0;
+}
+`
+	if got := runProgram(t, src, nil); got != 0 {
+		t.Errorf("result = %d, want 0", got)
+	}
+}
+
+func TestNestedStructAccess(t *testing.T) {
+	src := `
+struct inner { int x; int* p; }
+struct outer { int tag; inner in; }
+int g;
+int main() {
+  outer o;
+  o.tag = 7;
+  o.in.x = 30;
+  o.in.p = &g;
+  g = 5;
+  return o.tag + o.in.x + *(o.in.p);
+}
+`
+	if got := runProgram(t, src, nil); got != 42 {
+		t.Errorf("result = %d, want 42", got)
+	}
+}
+
+func TestArrowChains(t *testing.T) {
+	src := `
+struct node { int v; node* next; }
+int main() {
+  node a;
+  node b;
+  a.v = 40;
+  a.next = &b;
+  b.v = 2;
+  b.next = null;
+  return a.v + a.next->v;
+}
+`
+	if got := runProgram(t, src, nil); got != 42 {
+		t.Errorf("result = %d, want 42", got)
+	}
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	src := `
+int count;
+int bump() {
+  count = count + 1;
+  return 1;
+}
+int main() {
+  int r;
+  r = 0 && bump();
+  r = r + (1 || bump());
+  return count * 10 + r;
+}
+`
+	// Neither bump() should run: 0&&... short-circuits, 1||... short-circuits.
+	if got := runProgram(t, src, nil); got != 1 {
+		t.Errorf("result = %d, want 1 (count must stay 0)", got)
+	}
+}
+
+func TestElseIfChainsExecute(t *testing.T) {
+	src := `
+int classify(int x) {
+  if (x < 0) {
+    return 1;
+  } else if (x == 0) {
+    return 2;
+  } else if (x < 10) {
+    return 3;
+  } else {
+    return 4;
+  }
+}
+int main() {
+  return classify(-5) * 1000 + classify(0) * 100 + classify(5) * 10 + classify(50);
+}
+`
+	if got := runProgram(t, src, nil); got != 1234 {
+		t.Errorf("result = %d, want 1234", got)
+	}
+}
+
+func TestMallocWithDynamicSizeEvaluatesArgs(t *testing.T) {
+	src := `
+int calls;
+int size() {
+  calls = calls + 1;
+  return 8;
+}
+int main() {
+  int* p;
+  p = malloc(size());
+  p[0] = 5;
+  return calls * 10 + p[0];
+}
+`
+	if got := runProgram(t, src, nil); got != 15 {
+		t.Errorf("result = %d, want 15", got)
+	}
+}
+
+func TestVarDeclWithInitializer(t *testing.T) {
+	src := `
+int main() {
+  int a = 40;
+  int b = a + 2;
+  return b;
+}
+`
+	if got := runProgram(t, src, nil); got != 42 {
+		t.Errorf("result = %d, want 42", got)
+	}
+}
+
+func TestScopesShadowing(t *testing.T) {
+	src := `
+int main() {
+  int x;
+  x = 1;
+  if (x) {
+    int x;
+    x = 99;
+  }
+  return x;
+}
+`
+	if got := runProgram(t, src, nil); got != 1 {
+		t.Errorf("result = %d, want 1 (inner x must shadow)", got)
+	}
+}
+
+func TestGlobalArrayDecayAsArgument(t *testing.T) {
+	src := `
+int buf[8];
+int sum3(int* p) { return p[0] + p[1] + p[2]; }
+int main() {
+  buf[0] = 10;
+  buf[1] = 12;
+  buf[2] = 20;
+  return sum3(buf);
+}
+`
+	if got := runProgram(t, src, nil); got != 42 {
+		t.Errorf("result = %d, want 42", got)
+	}
+}
+
+func TestStructFieldArrayIndexing(t *testing.T) {
+	src := `
+struct holder { int id; int vals[4]; }
+holder g;
+int main() {
+  int i;
+  i = 0;
+  while (i < 4) {
+    g.vals[i] = i * 10;
+    i = i + 1;
+  }
+  return g.vals[1] + g.vals[3];
+}
+`
+	if got := runProgram(t, src, nil); got != 40 {
+		t.Errorf("result = %d, want 40", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"missing semicolon", `int main() { int x x = 1; return x; }`, "expected"},
+		{"unterminated block", `int main() { return 0;`, "unexpected end of file"},
+		{"bad array length", `int a[x]; int main() { return 0; }`, "array length"},
+		{"zero array", `int a[0]; int main() { return 0; }`, "invalid array length"},
+		{"bad char", "int main() { return 1 $ 2; }", "unexpected character"},
+		{"missing paren", `int main() { if (1 { return 0; } return 1; }`, "expected"},
+		{"global init", `int g = 3; int main() { return g; }`, "initializers are not supported"},
+		{"field init", `struct s { int a = 1; } int main() { return 0; }`, "not allowed"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile("t", c.src)
+			if err == nil {
+				t.Fatalf("compile succeeded, want error with %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q missing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestTypeCheckErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"index non-array", `int main() { int x; x = 1; return x[0]; }`, "index"},
+		{"dot on pointer", `struct s { int a; } int main() { s v; s* p; p = &v; return p.a; }`, "non-struct"},
+		{"arrow on value", `struct s { int a; } int main() { s v; return v->a; }`, "as a value"},
+		{"address of literal", `int main() { int* p; p = &5; return 0; }`, "not addressable"},
+		{"assign to array", `int a[4]; int b[4]; int main() { a = b; return 0; }`, "cannot assign to array"},
+		{"dup param", `int f(int a, int a) { return a; } int main() { return f(1, 2); }`, "duplicate parameter"},
+		{"dup local", `int main() { int x; int x; return 0; }`, "duplicate variable"},
+		{"struct param", `struct s { int a; } int f(s v) { return 0; } int main() { return 0; }`, "scalar or pointer"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile("t", c.src)
+			if err == nil {
+				t.Fatalf("compile succeeded, want error with %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q missing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestMustCompilePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile did not panic")
+		}
+	}()
+	MustCompile("bad", "not a program")
+}
+
+func TestCompiledModuleValidates(t *testing.T) {
+	m := MustCompile("v", mbedSnippet)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	// All instructions carry IDs and positions.
+	for _, f := range m.Funcs {
+		f.Instrs(func(_ *ir.Block, in ir.Instr) {
+			if ir.InstrID(in) == 0 {
+				t.Errorf("instruction %q has no ID", in)
+			}
+		})
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	src := `
+int main() {
+  int sum;
+  int i;
+  sum = 0;
+  for (i = 0; i < 10; i = i + 1) {
+    sum = sum + i;
+  }
+  return sum;
+}
+`
+	if got := runProgram(t, src, nil); got != 45 {
+		t.Errorf("result = %d, want 45", got)
+	}
+}
+
+func TestForLoopWithDeclInit(t *testing.T) {
+	src := `
+int main() {
+  int sum;
+  sum = 0;
+  for (int i = 1; i <= 4; i = i + 1) {
+    sum = sum + i;
+  }
+  return sum;
+}
+`
+	if got := runProgram(t, src, nil); got != 10 {
+		t.Errorf("result = %d, want 10", got)
+	}
+}
+
+func TestBreakAndContinue(t *testing.T) {
+	src := `
+int main() {
+  int sum;
+  int i;
+  sum = 0;
+  for (i = 0; i < 100; i = i + 1) {
+    if (i % 2 == 1) {
+      continue;
+    }
+    if (i >= 10) {
+      break;
+    }
+    sum = sum + i;
+  }
+  return sum * 100 + i;
+}
+`
+	// evens 0..8 sum to 20; loop broke at i == 10.
+	if got := runProgram(t, src, nil); got != 2010 {
+		t.Errorf("result = %d, want 2010", got)
+	}
+}
+
+func TestBreakInWhile(t *testing.T) {
+	src := `
+int main() {
+  int i;
+  i = 0;
+  while (1) {
+    i = i + 1;
+    if (i == 7) {
+      break;
+    }
+  }
+  return i;
+}
+`
+	if got := runProgram(t, src, nil); got != 7 {
+		t.Errorf("result = %d, want 7", got)
+	}
+}
+
+func TestNestedLoopBreakTargetsInnermost(t *testing.T) {
+	src := `
+int main() {
+  int total;
+  int i;
+  int j;
+  total = 0;
+  for (i = 0; i < 3; i = i + 1) {
+    for (j = 0; j < 10; j = j + 1) {
+      if (j == 2) {
+        break;
+      }
+      total = total + 1;
+    }
+  }
+  return total;
+}
+`
+	if got := runProgram(t, src, nil); got != 6 {
+		t.Errorf("result = %d, want 6", got)
+	}
+}
+
+func TestInfiniteForWithBreak(t *testing.T) {
+	src := `
+int main() {
+  int n;
+  n = 0;
+  for (;;) {
+    n = n + 1;
+    if (n > 4) {
+      break;
+    }
+  }
+  return n;
+}
+`
+	if got := runProgram(t, src, nil); got != 5 {
+		t.Errorf("result = %d, want 5", got)
+	}
+}
+
+func TestBreakOutsideLoopRejected(t *testing.T) {
+	compileErr(t, `int main() { break; return 0; }`, "break outside")
+	compileErr(t, `int main() { continue; return 0; }`, "continue outside")
+}
+
+func TestContinueSkipsToPost(t *testing.T) {
+	// continue must execute the post clause (i increments) or the loop would
+	// never terminate.
+	src := `
+int main() {
+  int i;
+  int visits;
+  visits = 0;
+  for (i = 0; i < 5; i = i + 1) {
+    continue;
+  }
+  return i + visits;
+}
+`
+	if got := runProgram(t, src, nil); got != 5 {
+		t.Errorf("result = %d, want 5", got)
+	}
+}

@@ -1,0 +1,425 @@
+package pointsto
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/invariant"
+	"repro/internal/ir"
+)
+
+// gepEdge is a weighted Field-Of edge: pts(to) ⊇ {o+off | o ∈ pts(from)}.
+type gepEdge struct {
+	to       int32
+	off      int32
+	site     int32 // FieldAddr instruction ID
+	collapse bool  // baseline PWC mitigation: objects flowing through lose field sensitivity
+	pwcSeen  bool  // this edge has been recorded as part of a PWC
+}
+
+// depEdge is a Load or Store constraint endpoint (resolution adds derived
+// Copy edges per Table 1).
+type depEdge struct {
+	other int32 // Load: destination register node; Store: source value node
+	site  int32 // the load/store instruction ID
+}
+
+// arithEdge is a PtrAdd flow: the destination receives the base's points-to
+// set subject to the arbitrary-arithmetic policy (field collapse at baseline,
+// struct filtering under the PA invariant).
+type arithEdge struct {
+	to   int32
+	site int32 // PtrAdd instruction ID
+}
+
+// icallSite is an indirect callsite awaiting target resolution.
+type icallSite struct {
+	site      int32 // ICall instruction ID
+	fptr      int32 // function-pointer node
+	args      []int32
+	dest      int32
+	connected map[int]bool // object index -> already wired
+}
+
+// edgeKey identifies a copy edge for dedupe and origin tracking.
+type edgeKey struct{ from, to int32 }
+
+// Origin records why a derived copy edge exists: the load/store constraint
+// whose resolution created it (site) and the pointer node whose points-to set
+// triggered it.
+type Origin struct {
+	Site    int // load/store instruction ID (0 for primitive edges)
+	Trigger int // pointer node whose pts supplied the object
+}
+
+// provKey and provEntry implement derivation provenance for introspection:
+// how did object obj get into pts(node)?
+type provKey struct {
+	node int32
+	obj  int32 // object-slot node id
+}
+
+type provEntry struct {
+	site    int32 // edge/constraint site responsible
+	srcNode int32 // node the object flowed from (-1 for Addr-Of)
+}
+
+// Stats summarizes one solver run.
+type Stats struct {
+	Iterations     int // worklist pops
+	CopyEdges      int // total copy edges (primitive + derived)
+	DerivedEdges   int // derived copy edges added during resolution
+	FieldCollapses int // objects turned field-insensitive
+	SCCCollapses   int // cycle nodes merged
+	PWCs           int // positive-weight cycles encountered
+	MonitorSites   int // runtime monitors implied by assumed invariants
+}
+
+// GrowthEvent describes one points-to set update (§4.1 introspection).
+type GrowthEvent struct {
+	Node    int    // constraint node that grew
+	Desc    string // human-readable node identity
+	Added   int    // objects added by this update
+	Total   int    // cardinality after the update
+	Types   int    // distinct object types now in the set
+	Site    int    // constraint instruction responsible (0 = Addr-Of init)
+	Derived bool   // update came from a derived constraint
+	// Backtrack lazily walks derivation provenance from this update toward
+	// primitive constraints, returning up to maxLevels constraint sites
+	// (most recent derivation first).
+	Backtrack func(maxLevels int) []int
+}
+
+// Tracer receives introspection events (§4.1) during solving. All methods
+// are called synchronously from the solver.
+type Tracer interface {
+	// Growth fires when pts(node) gains objects.
+	Growth(ev GrowthEvent)
+	// Cycle fires when a cycle is detected; pwc marks positive-weight cycles.
+	Cycle(size int, pwc bool)
+}
+
+// Analysis is one pointer-analysis run over a module: constraint graph,
+// solver state, and results.
+type Analysis struct {
+	mod     *ir.Module
+	layouts *ir.Layouts
+	cfg     invariant.Config
+	tracer  Tracer
+
+	nodes   []node
+	rep     []int32
+	pts     []*bitset.Set
+	objects []*Object
+
+	copyTo    [][]int32
+	gepTo     [][]*gepEdge
+	loadTo    [][]depEdge
+	storeFrom [][]depEdge
+	arithTo   [][]arithEdge
+	icallsAt  [][]*icallSite
+
+	copyEdges   map[edgeKey][]Origin // existing copy edges with ≤5 origins
+	regNodes    map[regKey]int
+	retNodes    map[string]int
+	objBySite   map[int]*Object
+	objByGlobal map[string]*Object
+	objByFunc   map[string]*Object
+	icallSites  []*icallSite
+
+	worklist []int32
+	inWL     []bool
+
+	// PA policy state: PtrAdd site -> filtered object indexes.
+	paFiltered map[int]map[int]bool
+	// Ctx policy state, computed by the ctx pre-pass.
+	ctxPlan   *ctxPlan
+	ctxSkip   map[int]bool // instruction IDs whose generic constraint is skipped
+	provs     map[provKey][]provEntry
+	traceProv bool
+
+	// Invariant records are kept per kind so they can be rebuilt after an
+	// incremental Restore: Ctx records are fixed at build time, PWC records
+	// accumulate during solving, and PA records derive from the live
+	// paFiltered state.
+	ctxRecords []invariant.Record
+	pwcList    []invariant.Record
+	pwcRecords map[string]bool // dedupe of recorded PWC cycles
+	paDisabled map[int]bool    // PtrAdd sites whose PA assumption was restored
+	pwcDone    map[int]bool    // PWC field sites already restored to baseline
+	naive      bool            // skip copy-cycle collapse (ablation)
+	wave       bool            // use wave propagation instead of the plain worklist
+
+	stats Stats
+}
+
+// SetNaive disables copy-cycle collapse (positive-weight-cycle handling is
+// unaffected: PWCs must still be mitigated for termination at baseline).
+// This exists for the cycle-elimination ablation benchmark; results are
+// identical, only solve cost changes. Must be called before Solve.
+func (a *Analysis) SetNaive(naive bool) { a.naive = naive }
+
+// New builds the constraint graph for m under cfg. Call Solve to run the
+// analysis.
+func New(m *ir.Module, cfg invariant.Config) *Analysis {
+	a := &Analysis{
+		mod:         m,
+		layouts:     ir.NewLayouts(),
+		cfg:         cfg,
+		copyEdges:   map[edgeKey][]Origin{},
+		regNodes:    map[regKey]int{},
+		retNodes:    map[string]int{},
+		objBySite:   map[int]*Object{},
+		objByGlobal: map[string]*Object{},
+		objByFunc:   map[string]*Object{},
+		paFiltered:  map[int]map[int]bool{},
+		ctxSkip:     map[int]bool{},
+		pwcRecords:  map[string]bool{},
+		paDisabled:  map[int]bool{},
+		pwcDone:     map[int]bool{},
+	}
+	a.build()
+	return a
+}
+
+// SetTracer installs an introspection tracer; it must be called before Solve.
+func (a *Analysis) SetTracer(t Tracer) {
+	a.tracer = t
+	a.traceProv = t != nil
+	if a.traceProv {
+		a.provs = map[provKey][]provEntry{}
+	}
+}
+
+// Config returns the invariant configuration of this run.
+func (a *Analysis) Config() invariant.Config { return a.cfg }
+
+// Module returns the analyzed module.
+func (a *Analysis) Module() *ir.Module { return a.mod }
+
+// push enqueues a node for re-processing.
+func (a *Analysis) push(n int) {
+	n = a.find(n)
+	a.ensureWL()
+	if a.inWL[n] {
+		return
+	}
+	a.inWL[n] = true
+	a.worklist = append(a.worklist, int32(n))
+}
+
+// ensureWL sizes the in-worklist flags to the node count.
+func (a *Analysis) ensureWL() {
+	for len(a.inWL) < len(a.nodes) {
+		a.inWL = append(a.inWL, false)
+	}
+}
+
+// ptsOf returns the points-to set of the representative of n, allocating it
+// on first use.
+func (a *Analysis) ptsOf(n int) *bitset.Set {
+	n = a.find(n)
+	if a.pts[n] == nil {
+		a.pts[n] = bitset.New(0)
+	}
+	return a.pts[n]
+}
+
+// typeCount returns the number of distinct object types currently in
+// pts(n). Introspection-only (O(set) per call).
+func (a *Analysis) typeCount(n int) int {
+	if a.pts[n] == nil {
+		return 0
+	}
+	seen := map[string]bool{}
+	a.pts[n].ForEach(func(o int) bool {
+		obj := a.objOfNode(o)
+		if obj == nil {
+			return true
+		}
+		name := "<unknown>"
+		if obj.Type != nil {
+			name = ir.BaseName(obj.Type)
+		} else if obj.Kind == ObjFunc {
+			name = "<function>"
+		}
+		seen[name] = true
+		return true
+	})
+	return len(seen)
+}
+
+// backtrackFn builds the lazy provenance walker for a growth event.
+func (a *Analysis) backtrackFn(n, o int) func(int) []int {
+	return func(maxLevels int) []int {
+		var sites []int
+		cur := int32(a.find(n))
+		target := int32(o)
+		for level := 0; level < maxLevels; level++ {
+			entries := a.provs[provKey{cur, target}]
+			if len(entries) == 0 {
+				break
+			}
+			e := entries[len(entries)-1]
+			sites = append(sites, int(e.site))
+			if e.srcNode < 0 {
+				break
+			}
+			cur = int32(a.find(int(e.srcNode)))
+		}
+		return sites
+	}
+}
+
+// emitGrowth dispatches a growth event to the tracer.
+func (a *Analysis) emitGrowth(n, added, site, obj int, derived bool) {
+	a.tracer.Growth(GrowthEvent{
+		Node:      n,
+		Desc:      a.describeNode(n),
+		Added:     added,
+		Total:     a.pts[n].Len(),
+		Types:     a.typeCount(n),
+		Site:      site,
+		Derived:   derived,
+		Backtrack: a.backtrackFn(n, obj),
+	})
+}
+
+// addToPts inserts object-slot node o into pts(n), recording provenance and
+// growth events, and enqueues n on change.
+func (a *Analysis) addToPts(n, o, site, srcNode int, derived bool) bool {
+	n = a.find(n)
+	if !a.ptsOf(n).Add(o) {
+		return false
+	}
+	if a.traceProv {
+		k := provKey{int32(n), int32(o)}
+		if es := a.provs[k]; len(es) < 5 {
+			a.provs[k] = append(es, provEntry{site: int32(site), srcNode: int32(srcNode)})
+		}
+	}
+	if a.tracer != nil {
+		a.emitGrowth(n, 1, site, o, derived)
+	}
+	a.push(n)
+	return true
+}
+
+// unionPts merges pts(src) into pts(dst) (used by copy propagation),
+// recording provenance per added object when tracing.
+func (a *Analysis) unionPts(dst, src, site int, derived bool) bool {
+	dst, src = a.find(dst), a.find(src)
+	if dst == src || a.pts[src] == nil || a.pts[src].Empty() {
+		return false
+	}
+	d := a.ptsOf(dst)
+	if a.traceProv {
+		added, last := 0, -1
+		a.pts[src].ForEach(func(o int) bool {
+			if d.Add(o) {
+				added++
+				last = o
+				k := provKey{int32(dst), int32(o)}
+				if es := a.provs[k]; len(es) < 5 {
+					a.provs[k] = append(es, provEntry{site: int32(site), srcNode: int32(src)})
+				}
+			}
+			return true
+		})
+		if added == 0 {
+			return false
+		}
+		if a.tracer != nil {
+			a.emitGrowth(dst, added, site, last, derived)
+		}
+		a.push(dst)
+		return true
+	}
+	before := d.Len()
+	if !d.UnionWith(a.pts[src]) {
+		return false
+	}
+	if a.tracer != nil {
+		a.emitGrowth(dst, d.Len()-before, site, -1, derived)
+	}
+	a.push(dst)
+	return true
+}
+
+// addCopy inserts a copy edge from→to. Derived edges record their origin
+// (≤5 retained, most recent last). The source's current points-to set is
+// propagated immediately.
+func (a *Analysis) addCopy(from, to, site, trigger int, derived bool) {
+	from, to = a.find(from), a.find(to)
+	if from == to {
+		return
+	}
+	k := edgeKey{int32(from), int32(to)}
+	if origins, exists := a.copyEdges[k]; exists {
+		if derived && len(origins) < 5 {
+			a.copyEdges[k] = append(origins, Origin{Site: site, Trigger: trigger})
+		}
+		return
+	}
+	a.copyEdges[k] = []Origin{{Site: site, Trigger: trigger}}
+	a.copyTo[from] = append(a.copyTo[from], int32(to))
+	a.stats.CopyEdges++
+	if derived {
+		a.stats.DerivedEdges++
+	}
+	a.unionPts(to, from, site, derived)
+}
+
+// addGep inserts a Field-Of edge.
+func (a *Analysis) addGep(from, to, off, site int) {
+	from = a.find(from)
+	a.gepTo[from] = append(a.gepTo[from], &gepEdge{to: int32(to), off: int32(off), site: int32(site)})
+	a.push(from)
+}
+
+// addLoad registers the Load constraint dest = *addr.
+func (a *Analysis) addLoad(addr, dest, site int) {
+	addr = a.find(addr)
+	a.loadTo[addr] = append(a.loadTo[addr], depEdge{other: int32(dest), site: int32(site)})
+	a.push(addr)
+}
+
+// addStore registers the Store constraint *addr = src.
+func (a *Analysis) addStore(addr, src, site int) {
+	addr = a.find(addr)
+	a.storeFrom[addr] = append(a.storeFrom[addr], depEdge{other: int32(src), site: int32(site)})
+	a.push(addr)
+}
+
+// addArith registers the PtrAdd flow dest = base + unknown.
+func (a *Analysis) addArith(base, dest, site int) {
+	base = a.find(base)
+	a.arithTo[base] = append(a.arithTo[base], arithEdge{to: int32(dest), site: int32(site)})
+	a.push(base)
+}
+
+// union merges node b into node a (both resolved to reps), combining
+// points-to sets and adjacency, and reschedules the survivor.
+func (a *Analysis) union(x, y int) {
+	x, y = a.find(x), a.find(y)
+	if x == y {
+		return
+	}
+	a.rep[y] = int32(x)
+	a.stats.SCCCollapses++
+	if a.pts[y] != nil {
+		a.ptsOf(x).UnionWith(a.pts[y])
+		a.pts[y] = nil
+	}
+	a.copyTo[x] = append(a.copyTo[x], a.copyTo[y]...)
+	a.copyTo[y] = nil
+	a.gepTo[x] = append(a.gepTo[x], a.gepTo[y]...)
+	a.gepTo[y] = nil
+	a.loadTo[x] = append(a.loadTo[x], a.loadTo[y]...)
+	a.loadTo[y] = nil
+	a.storeFrom[x] = append(a.storeFrom[x], a.storeFrom[y]...)
+	a.storeFrom[y] = nil
+	a.arithTo[x] = append(a.arithTo[x], a.arithTo[y]...)
+	a.arithTo[y] = nil
+	a.icallsAt[x] = append(a.icallsAt[x], a.icallsAt[y]...)
+	a.icallsAt[y] = nil
+	a.push(x)
+}

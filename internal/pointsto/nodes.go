@@ -1,0 +1,239 @@
+// Package pointsto implements a field-sensitive, flow- and context-
+// insensitive Andersen's inclusion-based pointer analysis over KIR, following
+// the constraint model of Table 1 in the paper (Addr-Of, Copy, Load, Store,
+// Field-Of), with online cycle detection and collapse, positive-weight-cycle
+// handling per Pearce et al., and the paper's three optimistic
+// likely-invariant policies (PA, PWC, Ctx) layered on top.
+//
+// One Analysis run produces one points-to collection; the IGO engine
+// (internal/core) runs it twice — baseline and optimistic — to produce the
+// fallback and optimistic memory views.
+package pointsto
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// ObjKind classifies abstract objects by allocation class.
+type ObjKind int
+
+// Abstract object classes.
+const (
+	ObjGlobal ObjKind = iota
+	ObjStack
+	ObjHeap
+	ObjFunc
+)
+
+func (k ObjKind) String() string {
+	switch k {
+	case ObjGlobal:
+		return "global"
+	case ObjStack:
+		return "stack"
+	case ObjHeap:
+		return "heap"
+	case ObjFunc:
+		return "func"
+	}
+	return fmt.Sprintf("ObjKind(%d)", int(k))
+}
+
+// Object is an abstract memory object (allocation site). Field-sensitive
+// objects occupy Size consecutive slot nodes starting at NodeBase; slot k
+// corresponds to FlattenedFields(Type)[k].
+type Object struct {
+	Index    int // position in Analysis.Objects()
+	NodeBase int // node ID of slot 0
+	Size     int // number of analysis slots
+	Kind     ObjKind
+	Name     string  // global/function name, or alloca variable name
+	Site     int     // allocation instruction ID (0 for globals/functions)
+	Fn       string  // containing function for stack/heap objects
+	Type     ir.Type // nil for unknown-type heap objects
+	Insens   bool    // true once the object has lost field sensitivity
+}
+
+// Label renders a stable human-readable identity for reports.
+func (o *Object) Label() string {
+	switch o.Kind {
+	case ObjGlobal:
+		return "@" + o.Name
+	case ObjFunc:
+		return o.Name + "()"
+	case ObjStack:
+		return fmt.Sprintf("%s/%s#%d", o.Fn, o.Name, o.Site)
+	default:
+		return fmt.Sprintf("heap@%s#%d", o.Fn, o.Site)
+	}
+}
+
+type nodeKind uint8
+
+const (
+	nodeReg   nodeKind = iota // a register (top-level pointer variable)
+	nodeRet                   // a function's return-value node
+	nodeObj                   // one slot of an abstract object
+	nodeDummy                 // per-callsite dummy node for Ctx wiring
+)
+
+// node is one vertex of the constraint graph.
+type node struct {
+	kind nodeKind
+	fn   string // nodeReg/nodeRet: owning function
+	reg  string // nodeReg: register name
+	obj  int32  // nodeObj: object index
+	slot int32  // nodeObj: slot within the object
+}
+
+func (a *Analysis) describeNode(id int) string {
+	n := a.nodes[id]
+	switch n.kind {
+	case nodeReg:
+		return fmt.Sprintf("%s:%s", n.fn, n.reg)
+	case nodeRet:
+		return fmt.Sprintf("ret(%s)", n.fn)
+	case nodeObj:
+		o := a.objects[n.obj]
+		if o.Size == 1 || n.slot == 0 {
+			return o.Label()
+		}
+		if o.Type != nil {
+			flat := ir.FlattenedFields(o.Type)
+			if int(n.slot) < len(flat) {
+				return o.Label() + "." + flat[n.slot].Path
+			}
+		}
+		return fmt.Sprintf("%s+%d", o.Label(), n.slot)
+	default:
+		return fmt.Sprintf("dummy%d", id)
+	}
+}
+
+// find resolves the union-find representative of node x with path
+// compression.
+func (a *Analysis) find(x int) int {
+	for a.rep[x] != int32(x) {
+		a.rep[x] = a.rep[a.rep[x]]
+		x = int(a.rep[x])
+	}
+	return x
+}
+
+// newNode appends a node and its empty points-to set.
+func (a *Analysis) newNode(n node) int {
+	id := len(a.nodes)
+	a.nodes = append(a.nodes, n)
+	a.rep = append(a.rep, int32(id))
+	a.pts = append(a.pts, nil)
+	a.copyTo = append(a.copyTo, nil)
+	a.gepTo = append(a.gepTo, nil)
+	a.loadTo = append(a.loadTo, nil)
+	a.storeFrom = append(a.storeFrom, nil)
+	a.arithTo = append(a.arithTo, nil)
+	a.icallsAt = append(a.icallsAt, nil)
+	return id
+}
+
+type regKey struct{ fn, reg string }
+
+// regNode returns (creating on demand) the node for register reg of fn.
+func (a *Analysis) regNode(fn, reg string) int {
+	k := regKey{fn, reg}
+	if id, ok := a.regNodes[k]; ok {
+		return id
+	}
+	id := a.newNode(node{kind: nodeReg, fn: fn, reg: reg})
+	a.regNodes[k] = id
+	return id
+}
+
+// retNode returns (creating on demand) the return-value node of fn.
+func (a *Analysis) retNode(fn string) int {
+	if id, ok := a.retNodes[fn]; ok {
+		return id
+	}
+	id := a.newNode(node{kind: nodeRet, fn: fn})
+	a.retNodes[fn] = id
+	return id
+}
+
+// newObject creates an abstract object with the given layout and returns it.
+func (a *Analysis) newObject(kind ObjKind, name, fn string, site int, t ir.Type) *Object {
+	size := 1
+	if t != nil {
+		size = a.layouts.Of(t).AnalysisSize
+	}
+	o := &Object{
+		Index: len(a.objects),
+		Kind:  kind,
+		Name:  name,
+		Fn:    fn,
+		Site:  site,
+		Type:  t,
+		Size:  size,
+	}
+	o.NodeBase = len(a.nodes)
+	for s := 0; s < size; s++ {
+		a.newNode(node{kind: nodeObj, obj: int32(o.Index), slot: int32(s)})
+	}
+	a.objects = append(a.objects, o)
+	if t == nil && kind == ObjHeap {
+		// Unknown-type heap objects are modeled as a single collapsed slot:
+		// any field access resolves to the base (sound, imprecise), and §6's
+		// rule says the PA invariant never filters them.
+		o.Insens = true
+	}
+	return o
+}
+
+// objOfNode returns the Object that node id (an object slot node) belongs to,
+// or nil for non-object nodes.
+func (a *Analysis) objOfNode(id int) *Object {
+	n := a.nodes[id]
+	if n.kind != nodeObj {
+		return nil
+	}
+	return a.objects[n.obj]
+}
+
+// fieldTarget resolves Pearce-style weighted propagation: the node denoting
+// slot (node's slot + off) of the same object, or -1 when the access runs off
+// the object (out-of-bounds derivations are dropped, as in SVF). For
+// field-insensitive objects the base node stands for every slot.
+//
+// The returned id is the CONCRETE object-slot node (never a union-find
+// representative): points-to sets always hold concrete object identities so
+// cycle collapse cannot conflate distinct objects in reported results.
+// Content propagation still flows through representatives (addCopy/unionPts
+// resolve reps internally).
+func (a *Analysis) fieldTarget(objNode, off int) int {
+	n := a.nodes[objNode]
+	if n.kind != nodeObj {
+		return -1
+	}
+	o := a.objects[n.obj]
+	if o.Insens {
+		return o.NodeBase
+	}
+	t := int(n.slot) + off
+	if t < 0 || t >= o.Size {
+		return -1
+	}
+	return o.NodeBase + t
+}
+
+// makeFieldInsensitive merges every slot node of o into its base node.
+func (a *Analysis) makeFieldInsensitive(o *Object) {
+	if o.Insens {
+		return
+	}
+	o.Insens = true
+	a.stats.FieldCollapses++
+	base := o.NodeBase
+	for s := 1; s < o.Size; s++ {
+		a.union(base, base+s)
+	}
+}

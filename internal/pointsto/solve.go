@@ -1,0 +1,425 @@
+package pointsto
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/invariant"
+	"repro/internal/ir"
+)
+
+// Solve runs the inclusion-constraint solver to a fixed point and returns
+// the points-to result. Solving alternates worklist propagation with cycle
+// detection/collapse until neither changes the graph.
+func (a *Analysis) Solve() *Result {
+	a.resolve()
+	return newResult(a)
+}
+
+// resolve runs propagation + cycle detection to a fixed point; it is also
+// the incremental re-solve entry used by Restore.
+func (a *Analysis) resolve() {
+	if a.wave {
+		a.solveWave()
+	} else {
+		a.ensureWL()
+		for {
+			a.drain()
+			if !a.sccPass() {
+				break
+			}
+		}
+	}
+	_, mons := a.invariantRecords()
+	a.stats.MonitorSites = len(mons)
+}
+
+// drain processes the worklist to exhaustion.
+func (a *Analysis) drain() {
+	for len(a.worklist) > 0 {
+		raw := int(a.worklist[len(a.worklist)-1])
+		a.worklist = a.worklist[:len(a.worklist)-1]
+		a.inWL[raw] = false
+		n := a.find(raw)
+		if n != raw && a.inWL[n] {
+			continue
+		}
+		a.processNode(n)
+	}
+}
+
+// processNode applies every outgoing constraint of n to its current
+// points-to set.
+func (a *Analysis) processNode(n int) {
+	a.stats.Iterations++
+	a.ensureWL()
+	var elems []int
+	if a.pts[n] != nil {
+		elems = a.pts[n].Elements()
+	}
+	if len(elems) > 0 {
+		for _, e := range a.gepTo[n] {
+			to := a.find(int(e.to))
+			for _, o := range elems {
+				if e.collapse {
+					if obj := a.objOfNode(o); obj != nil && !obj.Insens {
+						a.makeFieldInsensitive(obj)
+					}
+				}
+				if t := a.fieldTarget(o, int(e.off)); t >= 0 {
+					a.addToPts(to, t, int(e.site), n, true)
+				}
+			}
+		}
+		for _, e := range a.loadTo[n] {
+			for _, o := range elems {
+				if a.nodes[o].kind != nodeObj {
+					continue
+				}
+				a.addCopy(a.find(o), int(e.other), int(e.site), n, true)
+			}
+		}
+		for _, e := range a.storeFrom[n] {
+			for _, o := range elems {
+				if a.nodes[o].kind != nodeObj {
+					continue
+				}
+				a.addCopy(int(e.other), a.find(o), int(e.site), n, true)
+			}
+		}
+		for _, e := range a.arithTo[n] {
+			a.processArith(n, e, elems)
+		}
+		for _, s := range a.icallsAt[n] {
+			a.connectICall(n, s, elems)
+		}
+	}
+	for _, to := range a.copyTo[n] {
+		a.unionPts(int(to), n, 0, false)
+	}
+}
+
+// processArith applies the arbitrary-pointer-arithmetic policy (§4.2) to one
+// PtrAdd edge. Baseline: struct objects flowing through lose field
+// sensitivity. Optimistic (PA): plain struct objects of known type are
+// filtered out entirely and recorded as likely-invariant subjects; unknown-
+// type heap objects are never filtered (§6 soundness rule).
+func (a *Analysis) processArith(n int, e arithEdge, elems []int) {
+	to := a.find(int(e.to))
+	site := int(e.site)
+	for _, o := range elems {
+		obj := a.objOfNode(o)
+		if obj == nil {
+			continue
+		}
+		switch {
+		case a.cfg.PA && !a.paDisabled[site] && obj.Type != nil && ir.IsStruct(obj.Type):
+			m := a.paFiltered[site]
+			if m == nil {
+				m = map[int]bool{}
+				a.paFiltered[site] = m
+			}
+			m[obj.Index] = true
+		case obj.Size == 1:
+			a.addToPts(to, o, site, n, true)
+		default:
+			a.makeFieldInsensitive(obj)
+			a.addToPts(to, obj.NodeBase, site, n, true)
+		}
+	}
+}
+
+// connectICall wires newly discovered function targets of an indirect
+// callsite: actuals to formals, return value to the call destination.
+func (a *Analysis) connectICall(n int, s *icallSite, elems []int) {
+	for _, o := range elems {
+		obj := a.objOfNode(o)
+		if obj == nil || obj.Kind != ObjFunc || s.connected[obj.Index] {
+			continue
+		}
+		s.connected[obj.Index] = true
+		callee := a.mod.Func(obj.Name)
+		if callee == nil {
+			continue
+		}
+		for i, argN := range s.args {
+			if i >= len(callee.Params) {
+				break
+			}
+			a.addCopy(int(argN), a.regNode(callee.Name, callee.Params[i]), int(s.site), n, true)
+		}
+		if s.dest >= 0 {
+			a.addCopy(a.retNode(callee.Name), int(s.dest), int(s.site), n, true)
+		}
+	}
+}
+
+// sccPass runs cycle detection over the copy+gep subgraph and handles each
+// cycle: copy-only cycles collapse into a single node; positive-weight
+// cycles (PWCs) are treated per policy — baseline converts them per Pearce
+// (targets lose field sensitivity, then collapse), the PWC likely invariant
+// records them and defers any collapse (§4.3). Returns whether the graph
+// changed (requiring another propagation round).
+func (a *Analysis) sccPass() bool {
+	sccs := a.tarjan()
+	changed := false
+	for _, scc := range sccs {
+		inSCC := map[int]bool{}
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		// Collect internal positive gep edges.
+		var positive []*gepEdge
+		for _, n := range scc {
+			for _, e := range a.gepTo[n] {
+				if e.off > 0 && inSCC[a.find(int(e.to))] {
+					positive = append(positive, e)
+				}
+			}
+		}
+		if len(scc) == 1 && len(positive) == 0 {
+			continue
+		}
+		if len(positive) == 0 {
+			if a.naive {
+				continue // ablation: leave copy cycles to plain propagation
+			}
+			// Simple copy cycle: safe to collapse.
+			if a.tracer != nil {
+				a.tracer.Cycle(len(scc), false)
+			}
+			for _, n := range scc[1:] {
+				a.union(scc[0], n)
+			}
+			changed = true
+			continue
+		}
+		// Positive-weight cycle.
+		unseen := false
+		for _, e := range positive {
+			if !e.pwcSeen {
+				unseen = true
+				e.pwcSeen = true
+			}
+		}
+		if unseen {
+			a.stats.PWCs++
+			if a.tracer != nil {
+				a.tracer.Cycle(len(scc), true)
+			}
+		}
+		if a.cfg.PWC {
+			if unseen {
+				a.recordPWC(positive)
+			}
+			continue // defer: no collapse, no field-sensitivity loss
+		}
+		if !unseen {
+			continue // already mitigated
+		}
+		// Baseline mitigation (Pearce): objects flowing into the Field-Of
+		// edges of the cycle lose field sensitivity — now and in the future
+		// (collapse flag) — and the cycle merges into one node.
+		for _, e := range positive {
+			e.collapse = true
+		}
+		for _, n := range scc {
+			if a.pts[n] == nil {
+				continue
+			}
+			for _, o := range a.pts[n].Elements() {
+				if obj := a.objOfNode(o); obj != nil {
+					a.makeFieldInsensitive(obj)
+				}
+			}
+		}
+		for _, n := range scc[1:] {
+			a.union(scc[0], n)
+		}
+		changed = true
+	}
+	return changed
+}
+
+// recordPWC emits the PWC likely-invariant record and one monitor per
+// Field-Of instruction in the cycle.
+func (a *Analysis) recordPWC(positive []*gepEdge) {
+	sites := map[int]bool{}
+	for _, e := range positive {
+		sites[int(e.site)] = true
+	}
+	var sorted []int
+	for s := range sites {
+		sorted = append(sorted, s)
+	}
+	sort.Ints(sorted)
+	key := fmt.Sprint(sorted)
+	if a.pwcRecords[key] {
+		return
+	}
+	a.pwcRecords[key] = true
+	var parts []string
+	for _, s := range sorted {
+		parts = append(parts, fmt.Sprintf("#%d", s))
+	}
+	rec := invariant.Record{
+		Kind:            invariant.PWC,
+		Site:            sorted[0],
+		CycleFieldSites: sorted,
+		Desc:            "positive-weight cycle through field accesses " + strings.Join(parts, ", "),
+	}
+	a.pwcList = append(a.pwcList, rec)
+}
+
+// invariantRecords derives the current invariant and monitor lists: Ctx
+// records fixed at build time, PWC records found during solving (minus
+// restored ones), and PA records from the live filtering state. Indexes in
+// the monitor list refer to the returned record slice.
+func (a *Analysis) invariantRecords() ([]invariant.Record, []invariant.Monitor) {
+	var recs []invariant.Record
+	var mons []invariant.Monitor
+	for _, rec := range a.ctxRecords {
+		mons = append(mons, invariant.Monitor{InstrID: rec.Site, Kind: invariant.Ctx, Invariant: len(recs)})
+		recs = append(recs, rec)
+	}
+	for _, rec := range a.pwcList {
+		restored := true
+		for _, s := range rec.CycleFieldSites {
+			if !a.pwcDone[s] {
+				restored = false
+				break
+			}
+		}
+		if restored {
+			continue
+		}
+		for _, s := range rec.CycleFieldSites {
+			mons = append(mons, invariant.Monitor{InstrID: s, Kind: invariant.PWC, Invariant: len(recs)})
+		}
+		recs = append(recs, rec)
+	}
+	var sites []int
+	for s := range a.paFiltered {
+		if !a.paDisabled[s] {
+			sites = append(sites, s)
+		}
+	}
+	sort.Ints(sites)
+	for _, site := range sites {
+		var objs []int
+		for oi := range a.paFiltered[site] {
+			objs = append(objs, oi)
+		}
+		sort.Ints(objs)
+		var names []string
+		for _, oi := range objs {
+			names = append(names, a.objects[oi].Label())
+		}
+		mons = append(mons, invariant.Monitor{InstrID: site, Kind: invariant.PA, Invariant: len(recs)})
+		recs = append(recs, invariant.Record{
+			Kind:         invariant.PA,
+			Site:         site,
+			FilteredObjs: objs,
+			Desc:         "arbitrary arithmetic never addresses struct objects " + strings.Join(names, ", "),
+		})
+	}
+	return recs, mons
+}
+
+// tarjan computes strongly connected components of the copy+gep subgraph
+// over representative nodes (iterative Tarjan). Components are returned in
+// reverse topological order; order is irrelevant to callers.
+func (a *Analysis) tarjan() [][]int {
+	n := len(a.nodes)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int32
+	var sccs [][]int
+	next := int32(0)
+
+	succ := func(v int) []int {
+		var out []int
+		for _, t := range a.copyTo[v] {
+			out = append(out, a.find(int(t)))
+		}
+		for _, e := range a.gepTo[v] {
+			out = append(out, a.find(int(e.to)))
+		}
+		return out
+	}
+
+	type frame struct {
+		v     int
+		succs []int
+		i     int
+	}
+	for root := 0; root < n; root++ {
+		if a.find(root) != root || index[root] != -1 {
+			continue
+		}
+		frames := []frame{{v: root, succs: succ(root)}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succs) {
+				w := f.succs[f.i]
+				f.i++
+				if w == f.v {
+					continue
+				}
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, int32(w))
+					onStack[w] = true
+					frames = append(frames, frame{v: w, succs: succ(w)})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			if low[f.v] == index[f.v] {
+				var scc []int
+				for {
+					w := int(stack[len(stack)-1])
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == f.v {
+						break
+					}
+				}
+				if len(scc) > 1 || a.hasSelfGep(scc[0]) {
+					sccs = append(sccs, scc)
+				}
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[f.v] < low[p.v] {
+					low[p.v] = low[f.v]
+				}
+			}
+		}
+	}
+	return sccs
+}
+
+// hasSelfGep reports whether v has a positive-weight gep self-loop (a PWC
+// that collapsed onto a single node).
+func (a *Analysis) hasSelfGep(v int) bool {
+	for _, e := range a.gepTo[v] {
+		if e.off > 0 && a.find(int(e.to)) == v {
+			return true
+		}
+	}
+	return false
+}

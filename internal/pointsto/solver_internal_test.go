@@ -1,0 +1,244 @@
+package pointsto
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/invariant"
+	"repro/internal/minic"
+	"repro/internal/workload"
+)
+
+// Determinism: two runs over the same module must produce identical results
+// (object order, points-to sets, invariants, callsite targets).
+func TestSolveDeterministic(t *testing.T) {
+	for _, app := range workload.Apps()[:4] {
+		t.Run(app.Name, func(t *testing.T) {
+			m := app.MustModule()
+			r1 := New(m, invariant.All()).Solve()
+			r2 := New(m, invariant.All()).Solve()
+			if len(r1.Objects()) != len(r2.Objects()) {
+				t.Fatalf("object counts differ: %d vs %d", len(r1.Objects()), len(r2.Objects()))
+			}
+			for i, o := range r1.Objects() {
+				if o.Label() != r2.Objects()[i].Label() || o.Insens != r2.Objects()[i].Insens {
+					t.Fatalf("object %d differs: %s/%v vs %s/%v", i,
+						o.Label(), o.Insens, r2.Objects()[i].Label(), r2.Objects()[i].Insens)
+				}
+			}
+			for _, p := range r1.TopLevelPointers() {
+				if p.Reg == "" {
+					continue
+				}
+				a := fmt.Sprint(r1.PointsTo(p.Fn, p.Reg))
+				b := fmt.Sprint(r2.PointsTo(p.Fn, p.Reg))
+				if a != b {
+					t.Fatalf("%s:%s differs:\n%s\nvs\n%s", p.Fn, p.Reg, a, b)
+				}
+			}
+			if fmt.Sprint(r1.Invariants()) != fmt.Sprint(r2.Invariants()) {
+				t.Fatal("invariant lists differ")
+			}
+			for _, site := range r1.ICallSites() {
+				if fmt.Sprint(r1.CallTargets(site)) != fmt.Sprint(r2.CallTargets(site)) {
+					t.Fatalf("targets at %d differ", site)
+				}
+			}
+		})
+	}
+}
+
+// The cycle-elimination ablation: disabling copy-cycle collapse must not
+// change any points-to result, only the solve cost.
+func TestNaiveSolverMatchesCollapsing(t *testing.T) {
+	for _, app := range workload.Apps() {
+		t.Run(app.Name, func(t *testing.T) {
+			m := app.MustModule()
+			for _, cfg := range []invariant.Config{{}, invariant.All()} {
+				fast := New(m, cfg).Solve()
+				slow := New(m, cfg)
+				slow.SetNaive(true)
+				slowR := slow.Solve()
+				for _, p := range fast.TopLevelPointers() {
+					if p.Reg == "" {
+						continue
+					}
+					a := fmt.Sprint(fast.PointsTo(p.Fn, p.Reg))
+					b := fmt.Sprint(slowR.PointsTo(p.Fn, p.Reg))
+					if a != b {
+						t.Fatalf("%s (%s): %s:%s differs:\nfast %s\nnaive %s",
+							app.Name, cfg.Name(), p.Fn, p.Reg, a, b)
+					}
+				}
+				for _, site := range fast.ICallSites() {
+					if fmt.Sprint(fast.CallTargets(site)) != fmt.Sprint(slowR.CallTargets(site)) {
+						t.Fatalf("%s: icall %d differs", app.Name, site)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Pearce field saturation: out-of-bounds field derivations are dropped, so
+// deep gep chains terminate even with the PWC invariant (no collapse).
+func TestPWCDeferralTerminates(t *testing.T) {
+	// A direct self-referential positive cycle: p = &(p->next)-style flow via
+	// memory. The solver must converge (bounded by struct size).
+	src := `
+struct node { int v; node* next; int* data; }
+void* arena() { return malloc(sizeof(node)); }
+int main() {
+  node* p;
+  node** slot;
+  node* q;
+  node** conf;
+  slot = arena();
+  conf = arena();
+  p = arena();
+  *slot = p;
+  while (input()) {
+    q = *slot;
+    conf = &q->next;
+    *slot = *conf;
+  }
+  return 0;
+}
+`
+	m, err := minic.Compile("pwc-term", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(m, invariant.Config{PWC: true}).Solve()
+	if r.Stats().Iterations > 100000 {
+		t.Fatalf("suspiciously many iterations: %d", r.Stats().Iterations)
+	}
+}
+
+// Union-find invariants after solving: find is idempotent, reps are roots.
+func TestUnionFindConsistency(t *testing.T) {
+	m := workload.MbedTLS().MustModule()
+	a := New(m, invariant.Config{})
+	a.Solve()
+	for i := range a.nodes {
+		r := a.find(i)
+		if a.find(r) != r {
+			t.Fatalf("rep of %d is not a root", i)
+		}
+	}
+}
+
+// Field-insensitive objects report slot 0 for every element.
+func TestInsensSlotCanonicalization(t *testing.T) {
+	m := workload.MbedTLS().MustModule()
+	r := New(m, invariant.Config{}).Solve()
+	insensSeen := false
+	for _, o := range r.Objects() {
+		if !o.Insens || o.Size <= 1 {
+			continue
+		}
+		insensSeen = true
+		for s := 0; s < o.Size; s++ {
+			for _, ref := range r.SlotPointsTo(o, s) {
+				if ref.Obj.Insens && ref.Slot != 0 {
+					t.Fatalf("insens object %s reported at slot %d", ref.Obj.Label(), ref.Slot)
+				}
+			}
+		}
+	}
+	if !insensSeen {
+		t.Skip("no collapsed multi-slot objects in baseline mbedtls")
+	}
+}
+
+// Stats sanity across all workloads and configs.
+func TestStatsSanity(t *testing.T) {
+	for _, app := range workload.Apps() {
+		m := app.MustModule()
+		for _, cfg := range invariant.Ablations() {
+			r := New(m, cfg).Solve()
+			st := r.Stats()
+			if st.Iterations <= 0 || st.CopyEdges <= 0 {
+				t.Errorf("%s/%s: degenerate stats %+v", app.Name, cfg.Name(), st)
+			}
+			if cfg.PWC && st.FieldCollapses > 0 {
+				// PWC deferral avoids collapses UNLESS the PA channel (off
+				// here only when !cfg.PA) collapsed arrays-of-structs or
+				// unknown-size effects; full config may still collapse via
+				// non-filterable objects.
+				continue
+			}
+			if len(r.Monitors()) != st.MonitorSites {
+				t.Errorf("%s/%s: monitor count mismatch: %d vs %d",
+					app.Name, cfg.Name(), len(r.Monitors()), st.MonitorSites)
+			}
+		}
+	}
+}
+
+// The measurement population is identical across configurations (required
+// for Table 3 comparability).
+func TestPopulationStableAcrossConfigs(t *testing.T) {
+	m := workload.Libxml().MustModule()
+	base := New(m, invariant.Config{}).Solve()
+	pop := base.TopLevelPointers()
+	distinctObjs := func(r *Result, p PtrRef) map[string]bool {
+		out := map[string]bool{}
+		if p.Reg == "" {
+			return out
+		}
+		for _, ref := range r.PointsTo(p.Fn, p.Reg) {
+			out[ref.Obj.Label()] = true
+		}
+		return out
+	}
+	for _, cfg := range invariant.Ablations()[1:] {
+		r := New(m, cfg).Solve()
+		for _, p := range pop {
+			// Object-level subset: optimism only removes objects. (Slot-level
+			// counts may grow under PWC deferral, which keeps distinct field
+			// elements that the baseline collapse merges.)
+			b := distinctObjs(base, p)
+			for label := range distinctObjs(r, p) {
+				if !b[label] {
+					t.Errorf("%s: %v gained object %s under %s", m.Name, p, label, cfg.Name())
+				}
+			}
+		}
+	}
+}
+
+// Wave propagation must produce identical results to the worklist solver on
+// every workload and configuration.
+func TestWaveSolverMatchesWorklist(t *testing.T) {
+	for _, app := range workload.Apps() {
+		t.Run(app.Name, func(t *testing.T) {
+			m := app.MustModule()
+			for _, cfg := range []invariant.Config{{}, invariant.All()} {
+				wl := New(m, cfg).Solve()
+				wv := New(m, cfg)
+				wv.SetWave(true)
+				wvR := wv.Solve()
+				for _, p := range wl.TopLevelPointers() {
+					if p.Reg == "" {
+						continue
+					}
+					a := fmt.Sprint(wl.PointsTo(p.Fn, p.Reg))
+					b := fmt.Sprint(wvR.PointsTo(p.Fn, p.Reg))
+					if a != b {
+						t.Fatalf("%s (%s): %s:%s differs:\nworklist %s\nwave %s",
+							app.Name, cfg.Name(), p.Fn, p.Reg, a, b)
+					}
+				}
+				for _, site := range wl.ICallSites() {
+					if fmt.Sprint(wl.CallTargets(site)) != fmt.Sprint(wvR.CallTargets(site)) {
+						t.Fatalf("%s (%s): icall %d differs", app.Name, cfg.Name(), site)
+					}
+				}
+				if fmt.Sprint(wl.Invariants()) != fmt.Sprint(wvR.Invariants()) {
+					t.Fatalf("%s (%s): invariants differ", app.Name, cfg.Name())
+				}
+			}
+		})
+	}
+}

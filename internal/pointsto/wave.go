@@ -1,0 +1,96 @@
+package pointsto
+
+// Wave propagation (Pereira and Berlin, CGO'09 — cited by the paper as one
+// of the standard Andersen accelerations). Instead of popping worklist nodes
+// in arbitrary order, each wave collapses copy cycles, topologically sorts
+// the condensed constraint graph, and propagates along the copy/gep edges in
+// topological order, so every points-to set is pushed downstream exactly
+// once per wave. Results are identical to the worklist solver (asserted by
+// tests); only the iteration strategy differs.
+
+// SetWave selects wave propagation as the solving strategy. Must be called
+// before Solve.
+func (a *Analysis) SetWave(wave bool) { a.wave = wave }
+
+// solveWave runs wave propagation to a fixed point.
+func (a *Analysis) solveWave() {
+	a.ensureWL()
+	for {
+		// Collapse copy cycles first so the remaining graph is (nearly) a
+		// DAG; PWC handling follows the configured policy.
+		changed := a.sccPass()
+		order := a.topoOrder()
+		// One wave: process every node in topological order. processNode
+		// pushes downstream nodes; because we visit in topo order, most of
+		// those pushes are handled later in the same wave.
+		for _, n := range order {
+			if a.find(n) != n {
+				continue
+			}
+			a.inWL[n] = false
+			a.processNode(n)
+		}
+		// Drain any residual work (derived edges may point upstream).
+		a.drain()
+		if !changed && !a.sccPass() {
+			// One more quiescence check: nothing changed structurally and
+			// the worklist is empty.
+			if len(a.worklist) == 0 {
+				return
+			}
+		}
+	}
+}
+
+// topoOrder returns representative nodes in topological order of the
+// copy+gep subgraph (cycles, if any remain, are broken arbitrarily by the
+// DFS finish ordering, which is safe: the residual drain handles back
+// edges).
+func (a *Analysis) topoOrder() []int {
+	n := len(a.nodes)
+	state := make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
+	order := make([]int, 0, n)
+
+	type frame struct {
+		v     int
+		succs []int
+		i     int
+	}
+	succ := func(v int) []int {
+		var out []int
+		for _, t := range a.copyTo[v] {
+			out = append(out, a.find(int(t)))
+		}
+		for _, e := range a.gepTo[v] {
+			out = append(out, a.find(int(e.to)))
+		}
+		return out
+	}
+	for root := 0; root < n; root++ {
+		if a.find(root) != root || state[root] != 0 {
+			continue
+		}
+		frames := []frame{{v: root, succs: succ(root)}}
+		state[root] = 1
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succs) {
+				w := f.succs[f.i]
+				f.i++
+				if state[w] == 0 {
+					state[w] = 1
+					frames = append(frames, frame{v: w, succs: succ(w)})
+				}
+				continue
+			}
+			state[f.v] = 2
+			order = append(order, f.v)
+			frames = frames[:len(frames)-1]
+		}
+	}
+	// Reverse the post-order for a topological order.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}

@@ -1,0 +1,229 @@
+// Package stats provides the descriptive statistics and rendering used by
+// the experiment harness: means, quartiles, IQR outliers, box-plot summaries
+// (Figures 10 and 12), and aligned text tables (Tables 2–5).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+// Max returns the maximum (0 for empty input).
+func Max(xs []int) int {
+	m := 0
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum (0 for empty input).
+func Min(xs []int) int {
+	m := 0
+	for i, x := range xs {
+		if i == 0 || x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// quantile returns the q-quantile (0≤q≤1) of sorted data via linear
+// interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the median (0 for empty input).
+func Median(xs []int) float64 {
+	s := toSortedFloats(xs)
+	return quantile(s, 0.5)
+}
+
+func toSortedFloats(xs []int) []float64 {
+	s := make([]float64, len(xs))
+	for i, x := range xs {
+		s[i] = float64(x)
+	}
+	sort.Float64s(s)
+	return s
+}
+
+// Box is a five-number box-plot summary with IQR outliers (1.5×IQR whisker
+// rule, matching matplotlib's default used by the paper's figures).
+type Box struct {
+	N        int
+	Mean     float64
+	Q1       float64
+	Median   float64
+	Q3       float64
+	LoWhisk  float64 // smallest point ≥ Q1 − 1.5·IQR
+	HiWhisk  float64 // largest point ≤ Q3 + 1.5·IQR
+	Outliers []float64
+}
+
+// NewBox summarizes xs.
+func NewBox(xs []int) Box {
+	b := Box{N: len(xs), Mean: Mean(xs)}
+	if len(xs) == 0 {
+		return b
+	}
+	s := toSortedFloats(xs)
+	b.Q1 = quantile(s, 0.25)
+	b.Median = quantile(s, 0.5)
+	b.Q3 = quantile(s, 0.75)
+	iqr := b.Q3 - b.Q1
+	loFence := b.Q1 - 1.5*iqr
+	hiFence := b.Q3 + 1.5*iqr
+	b.LoWhisk = math.Inf(1)
+	b.HiWhisk = math.Inf(-1)
+	for _, v := range s {
+		if v < loFence || v > hiFence {
+			b.Outliers = append(b.Outliers, v)
+			continue
+		}
+		if v < b.LoWhisk {
+			b.LoWhisk = v
+		}
+		if v > b.HiWhisk {
+			b.HiWhisk = v
+		}
+	}
+	if math.IsInf(b.LoWhisk, 1) {
+		b.LoWhisk, b.HiWhisk = b.Median, b.Median
+	}
+	return b
+}
+
+// String renders the five-number summary.
+func (b Box) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f [%.1f | %.1f %.1f %.1f | %.1f] outliers=%d",
+		b.N, b.Mean, b.LoWhisk, b.Q1, b.Median, b.Q3, b.HiWhisk, len(b.Outliers))
+}
+
+// Render draws an ASCII box plot on a [0,max] axis of the given width.
+func (b Box) Render(axisMax float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if axisMax <= 0 {
+		axisMax = 1
+	}
+	pos := func(v float64) int {
+		p := int(v / axisMax * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	row := []byte(strings.Repeat(" ", width))
+	for i := pos(b.LoWhisk); i <= pos(b.HiWhisk); i++ {
+		row[i] = '-'
+	}
+	for i := pos(b.Q1); i <= pos(b.Q3); i++ {
+		row[i] = '='
+	}
+	row[pos(b.Median)] = '|'
+	for _, o := range b.Outliers {
+		if row[pos(o)] == ' ' {
+			row[pos(o)] = 'o'
+		}
+	}
+	return string(row)
+}
+
+// Factor returns base/opt, the paper's improvement factor (∞-safe: returns
+// base when opt is zero, 1 when both are zero).
+func Factor(base, opt float64) float64 {
+	if opt == 0 {
+		if base == 0 {
+			return 1
+		}
+		return base
+	}
+	return base / opt
+}
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given headers.
+func NewTable(headers ...string) *Table { return &Table{Headers: headers} }
+
+// AddRow appends a row; cells beyond the header count are dropped.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with padded columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i := 0; i < len(t.Headers); i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	var rule []string
+	for _, w := range widths {
+		rule = append(rule, strings.Repeat("-", w))
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float with two decimals (table cells).
+func F(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Pct formats a ratio as a percentage with two decimals.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }

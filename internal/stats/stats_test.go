@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanMedianMaxMin(t *testing.T) {
+	xs := []int{4, 1, 3, 2}
+	if got := Mean(xs); !almost(got, 2.5) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Median(xs); !almost(got, 2.5) {
+		t.Errorf("Median = %v", got)
+	}
+	if Max(xs) != 4 || Min(xs) != 1 {
+		t.Errorf("Max/Min = %d/%d", Max(xs), Min(xs))
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 {
+		t.Error("empty-input stats nonzero")
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	if got := Median([]int{9, 1, 5}); !almost(got, 5) {
+		t.Errorf("Median = %v", got)
+	}
+}
+
+func TestBoxQuartiles(t *testing.T) {
+	// 1..9: Q1=3, median=5, Q3=7 with linear interpolation.
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	b := NewBox(xs)
+	if !almost(b.Q1, 3) || !almost(b.Median, 5) || !almost(b.Q3, 7) {
+		t.Errorf("box = %+v", b)
+	}
+	if len(b.Outliers) != 0 {
+		t.Errorf("unexpected outliers %v", b.Outliers)
+	}
+	if b.LoWhisk != 1 || b.HiWhisk != 9 {
+		t.Errorf("whiskers = %v/%v", b.LoWhisk, b.HiWhisk)
+	}
+}
+
+func TestBoxOutliers(t *testing.T) {
+	xs := []int{10, 11, 12, 13, 14, 100}
+	b := NewBox(xs)
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Fatalf("outliers = %v", b.Outliers)
+	}
+	if b.HiWhisk != 14 {
+		t.Errorf("hi whisker = %v, want 14", b.HiWhisk)
+	}
+}
+
+func TestBoxSingletonAndEmpty(t *testing.T) {
+	b := NewBox([]int{7})
+	if b.Median != 7 || b.LoWhisk != 7 || b.HiWhisk != 7 {
+		t.Errorf("singleton box = %+v", b)
+	}
+	e := NewBox(nil)
+	if e.N != 0 || e.Mean != 0 {
+		t.Errorf("empty box = %+v", e)
+	}
+}
+
+func TestBoxRender(t *testing.T) {
+	b := NewBox([]int{1, 2, 3, 4, 5, 50})
+	s := b.Render(50, 40)
+	if len(s) != 40 {
+		t.Fatalf("render width = %d", len(s))
+	}
+	if !strings.Contains(s, "|") || !strings.Contains(s, "=") || !strings.Contains(s, "o") {
+		t.Errorf("render missing glyphs: %q", s)
+	}
+}
+
+func TestFactor(t *testing.T) {
+	if !almost(Factor(10, 2), 5) {
+		t.Error("Factor(10,2)")
+	}
+	if !almost(Factor(0, 0), 1) {
+		t.Error("Factor(0,0)")
+	}
+	if !almost(Factor(8, 0), 8) {
+		t.Error("Factor(8,0)")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("App", "Baseline", "Kaleidoscope")
+	tb.AddRow("MbedTLS", "304.00", "6.71")
+	tb.AddRow("Libtiff", "138.37", "2.91")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "App") || !strings.Contains(lines[0], "Kaleidoscope") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "MbedTLS") {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(3.14159) != "3.14" {
+		t.Errorf("F = %q", F(3.14159))
+	}
+	if Pct(0.0545) != "5.45%" {
+		t.Errorf("Pct = %q", Pct(0.0545))
+	}
+}
+
+// Property: quartiles are ordered and bounded by min/max.
+func TestQuickBoxInvariants(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]int, len(raw))
+		for i, r := range raw {
+			xs[i] = int(r)
+		}
+		b := NewBox(xs)
+		sorted := append([]int(nil), xs...)
+		sort.Ints(sorted)
+		lo, hi := float64(sorted[0]), float64(sorted[len(sorted)-1])
+		ordered := b.Q1 <= b.Median && b.Median <= b.Q3
+		bounded := b.Q1 >= lo && b.Q3 <= hi
+		whisks := b.LoWhisk <= b.Q1+1e-9 && b.HiWhisk >= b.Q3-1e-9 || len(b.Outliers) > 0
+		return ordered && bounded && whisks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]int, len(raw))
+		for i, r := range raw {
+			xs[i] = int(r)
+		}
+		m := Mean(xs)
+		return m >= float64(Min(xs))-1e-9 && m <= float64(Max(xs))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,252 @@
+package workload
+
+import "math/rand"
+
+// Curl returns the download-client-like workload. Its defining imprecision
+// source matches §7.2's finding for Curl: allocation routines are reached
+// through function pointers, so every buffer shares one statically unknown
+// heap object that no likely invariant may filter (§6's soundness rule).
+// Kd-Ctx and Kd-PA each recover part of the precision, but the full
+// configuration gains nothing further — the allocator pattern caps it.
+func Curl() *App {
+	return &App{
+		Name:   "curl",
+		Descr:  "Web Downloader",
+		Source: curlSrc,
+		Requests: func(n int, seed int64) []int64 {
+			return stdRequests(n, seed, 3, func(r *rand.Rand, out []int64) {
+				out[0] = int64(r.Intn(3))  // op: http/ftp/tls transfer
+				out[1] = int64(r.Intn(32)) // payload length
+				out[2] = int64(r.Intn(9))  // payload seed
+			})
+		},
+		FuzzSeeds: [][]int64{
+			{2, 0, 12, 3, 1, 20, 5},
+			{1, 2, 6, 1},
+		},
+	}
+}
+
+const curlSrc = `
+// curl-like synthetic workload: transfer handlers whose buffers come from a
+// pluggable allocator reached through a function pointer.
+
+struct easy_handle {
+  int state;
+  fn write_cb;
+  fn read_cb;
+  fn progress_cb;
+  int* recv_buf;
+  int* send_buf;
+}
+
+struct proto_ops {
+  int scheme;
+  fn connect_op;
+  fn transfer_op;
+  fn cleanup_op;
+}
+
+easy_handle h_http;
+easy_handle h_ftp;
+proto_ops ops_http;
+proto_ops ops_ftp;
+proto_ops ops_tls;
+
+fn alloc_fn;
+fn free_fn;
+
+int url_buf[32];
+int header_buf[32];
+
+int stat_bytes;
+int stat_xfers;
+
+// ---- pluggable allocator: the pattern that caps Kaleidoscope on Curl ----
+int* curl_malloc(int n) {
+  return malloc(n);
+}
+int* curl_calloc(int n) {
+  int* p;
+  p = malloc(n);
+  return p;
+}
+int curl_free(int* p) { return 0; }
+
+// ---- transfer callbacks ----
+int write_mem(int* b) { stat_bytes = stat_bytes + 1; return 1; }
+int write_file(int* b) { stat_bytes = stat_bytes + 1; return 2; }
+int read_mem(int* b) { return 3; }
+int read_file(int* b) { return 4; }
+int prog_noop(int* b) { return 0; }
+int prog_meter(int* b) { return 5; }
+
+int http_connect(int* b) { return 10; }
+int http_transfer(int* b) { stat_xfers = stat_xfers + 1; return 11; }
+int http_cleanup(int* b) { return 12; }
+int ftp_connect(int* b) { return 13; }
+int ftp_transfer(int* b) { stat_xfers = stat_xfers + 1; return 14; }
+int ftp_cleanup(int* b) { return 15; }
+int tls_connect(int* b) { return 16; }
+int tls_transfer(int* b) { stat_xfers = stat_xfers + 1; return 17; }
+int tls_cleanup(int* b) { return 18; }
+
+// ---- Ctx channel: handler configuration helper ----
+void easy_setopt(easy_handle* h, fn wcb, fn rcb, fn pcb) {
+  h->write_cb = wcb;
+  h->read_cb = rcb;
+  h->progress_cb = pcb;
+}
+
+void ops_register(proto_ops* o, fn conn, fn xfer, fn clean) {
+  o->connect_op = conn;
+  o->transfer_op = xfer;
+  o->cleanup_op = clean;
+}
+
+// ---- PA channel: header parsing with arbitrary arithmetic ----
+void header_copy(char* dst, char* src, int len) {
+  int i;
+  i = 0;
+  while (i < len) {
+    *(dst + i) = *(src + i);
+    i = i + 1;
+  }
+}
+
+void parse_headers(int taint, int len) {
+  char* dst;
+  dst = header_buf;
+  if (taint % 7 == 9) {  // never true
+    dst = &h_http;
+  }
+  if (taint % 5 == 8) {  // never true
+    dst = &h_ftp;
+  }
+  header_copy(dst, url_buf, len);
+}
+
+void curl_init() {
+  alloc_fn = &curl_malloc;
+  free_fn = &curl_free;
+  easy_setopt(&h_http, write_mem, read_mem, prog_noop);
+  easy_setopt(&h_ftp, write_file, read_file, prog_meter);
+  ops_register(&ops_http, http_connect, http_transfer, http_cleanup);
+  ops_register(&ops_ftp, ftp_connect, ftp_transfer, ftp_cleanup);
+  ops_register(&ops_tls, tls_connect, tls_transfer, tls_cleanup);
+}
+
+// Every buffer allocation goes through the allocator function pointer:
+// the analysis must resolve alloc_fn before it can distinguish buffers, so
+// all of them share the same unknown-type heap object.
+int* get_buffer(int len) {
+  int* b;
+  b = alloc_fn(len);
+  return b;
+}
+
+proto_ops* pick_ops(int scheme) {
+  if (scheme % 3 == 0) {
+    return &ops_http;
+  }
+  if (scheme % 3 == 1) {
+    return &ops_ftp;
+  }
+  return &ops_tls;
+}
+
+int fill_buffer(int* buf, int len, int fill) {
+  int i;
+  i = 0;
+  while (i < len % 12) {
+    buf[i] = fill + i;
+    i = i + 1;
+  }
+  return i;
+}
+
+int http_request(int len, int fill) {
+  int* buf;
+  int r;
+  buf = get_buffer(len);
+  fill_buffer(buf, len, fill);
+  h_http.recv_buf = buf;
+  h_http.send_buf = get_buffer(len);
+  r = ops_http.connect_op(h_http.recv_buf);
+  r = r + ops_http.transfer_op(buf);
+  r = r + h_http.write_cb(h_http.recv_buf);
+  r = r + h_http.progress_cb(null);
+  parse_headers(len, len % 32);
+  r = r + ops_http.cleanup_op(h_http.send_buf);
+  free_fn(buf);
+  return r;
+}
+
+int ftp_request(int len, int fill) {
+  int* buf;
+  int r;
+  buf = get_buffer(len);
+  fill_buffer(buf, len, fill);
+  h_ftp.recv_buf = buf;
+  r = ops_ftp.connect_op(h_ftp.recv_buf);
+  r = r + ops_ftp.transfer_op(buf);
+  r = r + h_ftp.read_cb(h_ftp.recv_buf);
+  r = r + h_ftp.write_cb(buf);
+  r = r + ops_ftp.cleanup_op(buf);
+  free_fn(buf);
+  return r;
+}
+
+// The generic path still dispatches through merged handle/ops pointers.
+int do_transfer(int scheme, int len, int fill) {
+  proto_ops* o;
+  easy_handle* h;
+  int* buf;
+  int r;
+  if (scheme % 3 == 0) {
+    return http_request(len, fill);
+  }
+  if (scheme % 3 == 1) {
+    return ftp_request(len, fill);
+  }
+  o = pick_ops(scheme);
+  h = &h_http;
+  if (scheme % 2 == 1) {
+    h = &h_ftp;
+  }
+  buf = get_buffer(len);
+  fill_buffer(buf, len, fill);
+  h->recv_buf = buf;
+  r = o->connect_op(h->recv_buf);
+  r = r + o->transfer_op(buf);
+  r = r + h->progress_cb(null);
+  parse_headers(len, len % 32);
+  r = r + o->cleanup_op(buf);
+  free_fn(buf);
+  return r;
+}
+
+int main() {
+  int n;
+  int op;
+  int len;
+  int fill;
+  int req;
+  int total;
+  curl_init();
+  n = input();
+  req = 0;
+  total = 0;
+  while (req < n) {
+    op = input();
+    len = input();
+    fill = input();
+    total = total + do_transfer(op, len % 32, fill);
+    req = req + 1;
+  }
+  output(total);
+  output(stat_bytes);
+  output(stat_xfers);
+  return total;
+}
+`

@@ -1,0 +1,251 @@
+package workload
+
+import "math/rand"
+
+// LibPNG returns the PNG-library-like workload, built around one chunk-
+// handler registry through which nearly every pointer flows. All three
+// imprecision channels strike that registry, so — as in Table 3, where
+// LibPNG's single-policy columns barely move (17.75 → 17.5) but the full
+// combination reaches 1.21 (14.67×) — only full Kaleidoscope restores
+// precision.
+func LibPNG() *App {
+	return &App{
+		Name:   "libpng",
+		Descr:  "Library for manipulating PNG files",
+		Source: libpngSrc,
+		Requests: func(n int, seed int64) []int64 {
+			return stdRequests(n, seed, 3, func(r *rand.Rand, out []int64) {
+				out[0] = int64(r.Intn(4))  // chunk kind
+				out[1] = int64(r.Intn(24)) // row length
+				out[2] = int64(r.Intn(9))  // pixel seed
+			})
+		},
+		FuzzSeeds: [][]int64{
+			{3, 0, 8, 2, 2, 16, 1, 1, 4, 4},
+			{1, 3, 20, 7},
+		},
+	}
+}
+
+const libpngSrc = `
+// libpng-like synthetic workload: a png_struct holding chunk handlers,
+// a row-transform pipeline, and a compression-state arena.
+
+struct png_struct {
+  int state;
+  fn read_ihdr;
+  fn read_idat;
+  fn read_plte;
+  fn read_iend;
+  fn read_text;
+  fn read_gama;
+  fn read_trns;
+  fn read_bkgd;
+  fn row_fn;
+  int* row_buf;
+}
+
+struct compression_state {
+  int avail;
+  int* f1;
+  int* f2;
+}
+
+png_struct png_reader;
+png_struct png_writer;
+
+int row_in[32];
+int row_out[32];
+int palette[16];
+
+int stat_chunks;
+int stat_rows;
+
+// ---- chunk handlers ----
+int ihdr_read(int* b) { stat_chunks = stat_chunks + 1; return 1; }
+int idat_read(int* b) { stat_chunks = stat_chunks + 1; return 2; }
+int plte_read(int* b) { stat_chunks = stat_chunks + 1; return 3; }
+int iend_read(int* b) { stat_chunks = stat_chunks + 1; return 4; }
+int ihdr_write(int* b) { return 5; }
+int idat_write(int* b) { return 6; }
+int plte_write(int* b) { return 7; }
+int iend_write(int* b) { return 8; }
+int row_expand(int* b) { stat_rows = stat_rows + 1; return 9; }
+int row_shrink(int* b) { stat_rows = stat_rows + 1; return 10; }
+int text_read(int* b) { return 11; }
+int gama_read(int* b) { return 12; }
+int trns_read(int* b) { return 13; }
+int bkgd_read(int* b) { return 14; }
+int text_write(int* b) { return 15; }
+int gama_write(int* b) { return 16; }
+int trns_write(int* b) { return 17; }
+int bkgd_write(int* b) { return 18; }
+
+// ---- Channel 1: row transform with arbitrary arithmetic (PA) ----
+void row_copy(char* dst, char* src, int len) {
+  int i;
+  i = 0;
+  while (i < len) {
+    *(dst + i) = *(src + i);
+    i = i + 1;
+  }
+}
+
+void transform_row(int taint, int len) {
+  char* dst;
+  char* src;
+  dst = row_out;
+  src = row_in;
+  if (taint % 7 == 9) {  // never true
+    dst = &png_reader;
+  }
+  if (taint % 5 == 8) {  // never true
+    dst = &png_writer;
+  }
+  if (taint % 3 == 5) {  // never true
+    src = &png_reader;
+  }
+  if (taint % 13 == 15) { // never true
+    src = &png_writer;
+  }
+  row_copy(dst, src, len);
+}
+
+// ---- Channel 2: compression arena PWC (Figure 7 verbatim) ----
+void* png_malloc(int n) {
+  return malloc(n);
+}
+
+compression_state** zstream;
+int** zsave;
+
+void zlib_init() {
+  zstream = png_malloc(sizeof(compression_state));
+  zsave = png_malloc(sizeof(compression_state));
+  *zstream = null;
+}
+
+void zlib_claim(int taint) {
+  compression_state* zs;
+  compression_state* cur;
+  int** fslot;
+  zs = png_malloc(sizeof(compression_state));
+  zs->avail = taint;
+  zs->f1 = row_in;
+  zs->f2 = row_out;
+  *zstream = zs;
+  cur = *zstream;
+  if (taint % 11 == 13) {  // never true
+    char* confuse;
+    confuse = &png_reader;
+    cur = confuse;
+  }
+  if (taint % 17 == 19) {  // never true
+    char* confuse2;
+    confuse2 = &png_writer;
+    cur = confuse2;
+  }
+  fslot = &cur->f2;
+  *zsave = fslot;
+}
+
+// ---- Channel 3: handler registration helper (Ctx) ----
+void png_set_read_fn(png_struct* p, fn ihdr, fn idat, fn plte, fn iend) {
+  p->read_ihdr = ihdr;
+  p->read_idat = idat;
+  p->read_plte = plte;
+  p->read_iend = iend;
+}
+
+void png_set_row_fn(png_struct* p, fn rf) {
+  p->row_fn = rf;
+}
+
+void png_set_aux_fn(png_struct* p, fn tx, fn gm, fn tr, fn bk) {
+  p->read_text = tx;
+  p->read_gama = gm;
+  p->read_trns = tr;
+  p->read_bkgd = bk;
+}
+
+void png_init() {
+  png_set_read_fn(&png_reader, ihdr_read, idat_read, plte_read, iend_read);
+  png_set_read_fn(&png_writer, ihdr_write, idat_write, plte_write, iend_write);
+  png_set_row_fn(&png_reader, row_expand);
+  png_set_row_fn(&png_writer, row_shrink);
+  png_set_aux_fn(&png_reader, text_read, gama_read, trns_read, bkgd_read);
+  png_set_aux_fn(&png_writer, text_write, gama_write, trns_write, bkgd_write);
+  png_reader.row_buf = row_in;
+  png_writer.row_buf = row_out;
+  zlib_init();
+}
+
+// ---- request processing: everything flows through the registry ----
+int read_chunk(int kind, int len, int fill) {
+  int i;
+  int r;
+  i = 0;
+  while (i < len) {
+    row_in[i] = fill + i;
+    i = i + 1;
+  }
+  if (kind % 4 == 0) {
+    r = png_reader.read_ihdr(png_reader.row_buf);
+  } else if (kind % 4 == 1) {
+    r = png_reader.read_idat(png_reader.row_buf);
+    zlib_claim(len);
+    r = r + png_reader.row_fn(row_in);
+    transform_row(len, len % 32);
+  } else if (kind % 4 == 2) {
+    r = png_reader.read_plte(palette);
+  } else {
+    r = png_reader.read_iend(null);
+    r = r + png_reader.read_text(row_in);
+    r = r + png_reader.read_gama(palette);
+    r = r + png_reader.read_trns(palette);
+    r = r + png_reader.read_bkgd(row_in);
+  }
+  return r;
+}
+
+int write_chunk(int kind, int len) {
+  int r;
+  if (kind % 2 == 0) {
+    r = png_writer.read_ihdr(png_writer.row_buf);
+  } else {
+    r = png_writer.read_idat(png_writer.row_buf);
+    r = r + png_writer.row_fn(row_out);
+    r = r + png_writer.read_text(row_out);
+    r = r + png_writer.read_gama(palette);
+    transform_row(len, len % 32);
+  }
+  return r;
+}
+
+int main() {
+  int n;
+  int kind;
+  int len;
+  int fill;
+  int req;
+  int total;
+  png_init();
+  n = input();
+  req = 0;
+  total = 0;
+  while (req < n) {
+    kind = input();
+    len = input();
+    fill = input();
+    total = total + read_chunk(kind, len % 24, fill);
+    if (kind % 3 == 0) {
+      total = total + write_chunk(kind, len);
+    }
+    req = req + 1;
+  }
+  output(total);
+  output(stat_chunks);
+  output(stat_rows);
+  return total;
+}
+`

@@ -1,0 +1,237 @@
+package workload
+
+import "math/rand"
+
+// Libtiff returns the TIFF-library-like workload. Its imprecision is
+// dominated by arbitrary pointer arithmetic over strip buffers that
+// (imprecisely) appears to address the codec descriptors, with a secondary
+// context-sensitivity channel in the tag-handler registration helper. As in
+// Table 3, Kd-PA alone recovers most of the precision, Kd-Ctx a smaller
+// share, and the PWC policy has nothing to act on.
+func Libtiff() *App {
+	return &App{
+		Name:   "libtiff",
+		Descr:  "Library for manipulating TIFF files",
+		Source: libtiffSrc,
+		Requests: func(n int, seed int64) []int64 {
+			return stdRequests(n, seed, 3, func(r *rand.Rand, out []int64) {
+				out[0] = int64(r.Intn(3))  // op: decode/encode/crop
+				out[1] = int64(r.Intn(40)) // strip length
+				out[2] = int64(r.Intn(7))  // pixel seed
+			})
+		},
+		FuzzSeeds: [][]int64{
+			{3, 0, 16, 2, 1, 8, 1, 2, 30, 4},
+			{1, 2, 12, 3},
+		},
+	}
+}
+
+const libtiffSrc = `
+// libtiff-like synthetic workload: codec descriptors, tag directory, and
+// strip copy loops.
+
+struct codec {
+  int scheme;
+  fn decode_row;
+  fn encode_row;
+  fn setup;
+  int* work;
+}
+
+struct tag_entry {
+  int id;
+  fn read_tag;
+  int* value;
+}
+
+struct directory {
+  int count;
+  fn on_load;
+  fn on_save;
+  int* strips;
+}
+
+codec codec_none;
+codec codec_lzw;
+codec codec_packbits;
+directory dir_main;
+directory dir_thumb;
+
+int strip_in[48];
+int strip_out[48];
+int scanline[48];
+int tag_values[16];
+
+int stat_rows;
+int stat_tags;
+
+// ---- codec callbacks ----
+int none_decode(int* b) { stat_rows = stat_rows + 1; return 1; }
+int none_encode(int* b) { return 2; }
+int none_setup(int* b) { return 3; }
+int lzw_decode(int* b) { stat_rows = stat_rows + 1; return 4; }
+int lzw_encode(int* b) { return 5; }
+int lzw_setup(int* b) { return 6; }
+int pb_decode(int* b) { stat_rows = stat_rows + 1; return 7; }
+int pb_encode(int* b) { return 8; }
+int pb_setup(int* b) { return 9; }
+int dir_load(int* b) { return 10; }
+int dir_save(int* b) { return 11; }
+int thumb_load(int* b) { return 12; }
+
+// ---- Channel 1 (dominant): arbitrary pointer arithmetic (PA) ----
+// Strip copies use *(dst+i); dead branches make the pointers appear to
+// address the codec descriptors, collapsing them at baseline and merging
+// their decode/encode tables.
+void strip_copy(char* dst, char* src, int len) {
+  int i;
+  i = 0;
+  while (i < len) {
+    *(dst + i) = *(src + i);
+    i = i + 1;
+  }
+}
+
+void strip_flush(int taint, int len) {
+  char* dst;
+  char* src;
+  dst = strip_out;
+  src = strip_in;
+  if (taint % 7 == 9) {  // never true
+    dst = &codec_none;
+  }
+  if (taint % 5 == 8) {  // never true
+    dst = &codec_lzw;
+  }
+  if (taint % 9 == 11) { // never true
+    dst = &codec_packbits;
+  }
+  if (taint % 3 == 5) {  // never true
+    src = &codec_lzw;
+  }
+  if (taint % 13 == 15) { // never true
+    src = &codec_packbits;
+  }
+  strip_copy(dst, src, len);
+}
+
+// ---- Channel 2 (secondary): context-insensitive registration (Ctx) ----
+void dir_set_hooks(directory* d, fn load_cb, fn save_cb) {
+  d->on_load = load_cb;
+  d->on_save = save_cb;
+}
+
+void codec_register(codec* c, fn dec, fn enc, fn setup_cb) {
+  c->decode_row = dec;
+  c->encode_row = enc;
+  c->setup = setup_cb;
+}
+
+void tiff_init() {
+  codec_register(&codec_none, none_decode, none_encode, none_setup);
+  codec_register(&codec_lzw, lzw_decode, lzw_encode, lzw_setup);
+  codec_register(&codec_packbits, pb_decode, pb_encode, pb_setup);
+  dir_set_hooks(&dir_main, dir_load, dir_save);
+  dir_set_hooks(&dir_thumb, thumb_load, dir_save);
+  codec_none.work = scanline;
+  codec_lzw.work = strip_in;
+  codec_packbits.work = strip_out;
+  dir_main.strips = strip_in;
+  dir_thumb.strips = strip_out;
+}
+
+// ---- request processing ----
+codec* pick_codec(int scheme) {
+  if (scheme % 3 == 0) {
+    return &codec_none;
+  }
+  if (scheme % 3 == 1) {
+    return &codec_lzw;
+  }
+  return &codec_packbits;
+}
+
+int decode_strip(int scheme, int len, int fill) {
+  codec* c;
+  int i;
+  int r;
+  c = pick_codec(scheme);
+  i = 0;
+  while (i < len) {
+    strip_in[i] = fill + i;
+    i = i + 1;
+  }
+  r = c->setup(c->work);
+  r = r + c->decode_row(strip_in);
+  strip_flush(len, len % 48);
+  return r;
+}
+
+int encode_strip(int scheme, int len, int fill) {
+  codec* c;
+  int i;
+  c = pick_codec(scheme);
+  i = 0;
+  while (i < len) {
+    scanline[i] = fill * 2 + i;
+    i = i + 1;
+  }
+  strip_copy(strip_out, scanline, len);
+  return c->encode_row(strip_out);
+}
+
+int crop_pass(int len) {
+  int r;
+  r = dir_main.on_load(dir_main.strips);
+  strip_copy(strip_out, strip_in, len % 48);
+  r = r + dir_thumb.on_load(dir_thumb.strips);
+  r = r + dir_main.on_save(dir_main.strips);
+  return r;
+}
+
+// Rare diagnostic path, unreachable under the benchmark drivers (op < 3).
+int dump_tags(int taint, int len) {
+  char* dst;
+  int r;
+  dst = scanline;
+  if (taint % 23 == 29) {  // never true
+    dst = &dir_thumb;
+  }
+  strip_copy(dst, tag_values, len % 16);
+  dir_set_hooks(&dir_thumb, thumb_load, dir_save);
+  r = dir_thumb.on_save(dir_thumb.strips);
+  return r;
+}
+
+int main() {
+  int n;
+  int op;
+  int len;
+  int fill;
+  int req;
+  int total;
+  tiff_init();
+  n = input();
+  req = 0;
+  total = 0;
+  while (req < n) {
+    op = input();
+    len = input();
+    fill = input();
+    if (op == 47) {
+      total = total + dump_tags(len, fill);
+    } else if (op % 3 == 0) {
+      total = total + decode_strip(len, len % 48, fill);
+    } else if (op % 3 == 1) {
+      total = total + encode_strip(len, len % 48, fill);
+    } else {
+      total = total + crop_pass(len);
+    }
+    req = req + 1;
+  }
+  output(total);
+  output(stat_rows);
+  return total;
+}
+`

@@ -1,0 +1,242 @@
+package workload
+
+import "math/rand"
+
+// Libxml returns the XML-library-like workload: SAX handler tables struck by
+// all three imprecision channels plus a sizeable parsing core whose pointers
+// the invariants do not touch, yielding a moderate full-combination factor
+// (Table 3: 304 → 87.6, 3.47×) with near-flat single-policy columns.
+func Libxml() *App {
+	return &App{
+		Name:   "libxml",
+		Descr:  "Library for manipulating XML files",
+		Source: libxmlSrc,
+		Requests: func(n int, seed int64) []int64 {
+			return stdRequests(n, seed, 3, func(r *rand.Rand, out []int64) {
+				out[0] = int64(r.Intn(5))  // event kind
+				out[1] = int64(r.Intn(28)) // text length
+				out[2] = int64(r.Intn(9))  // char seed
+			})
+		},
+		FuzzSeeds: [][]int64{
+			{4, 0, 10, 2, 1, 6, 1, 2, 8, 3, 3, 12, 5},
+			{1, 4, 24, 8},
+		},
+	}
+}
+
+const libxmlSrc = `
+// libxml-like synthetic workload: SAX handler table, node tree, and
+// entity-buffer handling.
+
+struct sax_handler {
+  int flags;
+  fn start_elem;
+  fn end_elem;
+  fn characters;
+  fn comment;
+  int* user_data;
+}
+
+struct xml_node {
+  int kind;
+  xml_node* parent;
+  xml_node* next;
+  int* content;
+}
+
+sax_handler sax_doc;
+sax_handler sax_html;
+sax_handler sax_push;
+
+int text_buf[40];
+int ent_buf[40];
+int name_buf[40];
+
+int stat_elems;
+int stat_chars;
+
+// ---- SAX callbacks ----
+int doc_start(int* b) { stat_elems = stat_elems + 1; return 1; }
+int doc_end(int* b) { return 2; }
+int doc_chars(int* b) { stat_chars = stat_chars + 1; return 3; }
+int doc_comment(int* b) { return 4; }
+int html_start(int* b) { stat_elems = stat_elems + 1; return 5; }
+int html_end(int* b) { return 6; }
+int html_chars(int* b) { stat_chars = stat_chars + 1; return 7; }
+int html_comment(int* b) { return 8; }
+int push_start(int* b) { stat_elems = stat_elems + 1; return 9; }
+int push_end(int* b) { return 10; }
+int push_chars(int* b) { return 11; }
+int push_comment(int* b) { return 12; }
+
+// ---- Channel 1: entity expansion via pointer arithmetic (PA) ----
+void ent_copy(char* dst, char* src, int len) {
+  int i;
+  i = 0;
+  while (i < len) {
+    *(dst + i) = *(src + i);
+    i = i + 1;
+  }
+}
+
+void expand_entities(int taint, int len) {
+  char* dst;
+  char* src;
+  dst = ent_buf;
+  src = text_buf;
+  if (taint % 7 == 9) {  // never true
+    dst = &sax_doc;
+  }
+  if (taint % 5 == 8) {  // never true
+    dst = &sax_html;
+  }
+  if (taint % 3 == 5) {  // never true
+    src = &sax_push;
+  }
+  ent_copy(dst, src, len);
+}
+
+// ---- Channel 2: node arena PWC ----
+void* node_alloc() {
+  return malloc(sizeof(xml_node));
+}
+
+xml_node** doc_root;
+int** frag_save;
+
+void tree_init() {
+  doc_root = node_alloc();
+  frag_save = node_alloc();
+  *doc_root = null;
+}
+
+void node_push(int kind, int taint) {
+  xml_node* nd;
+  xml_node* cur;
+  int** cslot;
+  nd = node_alloc();
+  nd->kind = kind;
+  nd->content = text_buf;
+  nd->parent = null;
+  nd->next = *doc_root;
+  *doc_root = nd;
+  cur = *doc_root;
+  if (taint % 11 == 13) {  // never true
+    char* confuse;
+    confuse = &sax_doc;
+    cur = confuse;
+  }
+  cslot = &cur->content;
+  *frag_save = cslot;
+}
+
+int tree_walk() {
+  xml_node* cur;
+  int n;
+  n = 0;
+  cur = *doc_root;
+  while (cur != null) {
+    n = n + cur->kind;
+    cur = cur->next;
+  }
+  return n;
+}
+
+// ---- Channel 3: handler registration (Ctx) ----
+void sax_register(sax_handler* h, fn se, fn ee, fn ch, fn cm) {
+  h->start_elem = se;
+  h->end_elem = ee;
+  h->characters = ch;
+  h->comment = cm;
+}
+
+void sax_set_data(sax_handler* h, int* data) {
+  h->user_data = data;
+}
+
+void xml_init() {
+  sax_register(&sax_doc, doc_start, doc_end, doc_chars, doc_comment);
+  sax_register(&sax_html, html_start, html_end, html_chars, html_comment);
+  sax_register(&sax_push, push_start, push_end, push_chars, push_comment);
+  sax_set_data(&sax_doc, text_buf);
+  sax_set_data(&sax_html, ent_buf);
+  sax_set_data(&sax_push, name_buf);
+  tree_init();
+}
+
+// ---- parsing core (invariant-neutral pointer traffic) ----
+int scan_name(int len, int fill) {
+  int i;
+  i = 0;
+  while (i < len) {
+    name_buf[i] = fill + i;
+    i = i + 1;
+  }
+  return i;
+}
+
+int parse_event(int kind, int len, int fill) {
+  int r;
+  scan_name(len, fill);
+  if (kind % 5 == 0) {
+    r = sax_doc.start_elem(sax_doc.user_data);
+    node_push(kind, len);
+  } else if (kind % 5 == 1) {
+    r = sax_doc.characters(text_buf);
+    expand_entities(len, len % 40);
+  } else if (kind % 5 == 2) {
+    r = sax_doc.end_elem(sax_doc.user_data);
+  } else if (kind % 5 == 3) {
+    r = sax_html.start_elem(sax_html.user_data);
+    r = r + sax_html.characters(ent_buf);
+  } else {
+    r = sax_doc.comment(text_buf);
+    r = r + tree_walk();
+    *doc_root = null;
+  }
+  return r;
+}
+
+// Rare DTD validation path (the driver generates kind < 5 only).
+int validate_dtd(int taint, int len) {
+  char* dst;
+  int r;
+  dst = name_buf;
+  if (taint % 43 == 47) {  // never true
+    dst = &sax_html;
+  }
+  ent_copy(dst, ent_buf, len % 16);
+  sax_register(&sax_push, push_start, push_end, push_chars, push_comment);
+  r = sax_push.start_elem(sax_push.user_data);
+  return r + tree_walk();
+}
+
+int main() {
+  int n;
+  int kind;
+  int len;
+  int fill;
+  int req;
+  int total;
+  xml_init();
+  n = input();
+  req = 0;
+  total = 0;
+  while (req < n) {
+    kind = input();
+    len = input();
+    fill = input();
+    if (kind == 59) {
+      total = total + validate_dtd(len, fill);
+    } else {
+      total = total + parse_event(kind, len % 40, fill);
+    }
+    req = req + 1;
+  }
+  output(total);
+  output(stat_elems);
+  output(stat_chars);
+  return total;
+}
+`

@@ -1,0 +1,181 @@
+package workload
+
+import "math/rand"
+
+// Lighttpd returns the web-server-like workload. Its plugin architecture
+// stores callbacks in arrays, and — as §7.2 reports — the array-index
+// insensitivity of the baseline analysis forces Kaleidoscope to treat every
+// plugin callback as one, muting the CFI gains under every configuration.
+// Small Ctx and PA channels still give modest points-to improvements.
+func Lighttpd() *App {
+	return &App{
+		Name:   "lighttpd",
+		Descr:  "HTTP Web Server",
+		Source: lighttpdSrc,
+		Requests: func(n int, seed int64) []int64 {
+			return stdRequests(n, seed, 3, func(r *rand.Rand, out []int64) {
+				out[0] = int64(r.Intn(6))  // plugin index
+				out[1] = int64(r.Intn(40)) // uri length
+				out[2] = int64(r.Intn(9))  // body seed
+			})
+		},
+		FuzzSeeds: [][]int64{
+			{3, 0, 10, 1, 4, 20, 2, 2, 5, 5},
+			{1, 5, 30, 8},
+		},
+	}
+}
+
+const lighttpdSrc = `
+// lighttpd-like synthetic workload: plugin slots in arrays, per-connection
+// state, and header writing via pointer arithmetic.
+
+struct plugin {
+  int id;
+  fn handle_uri;
+  fn handle_request;
+  fn handle_close;
+  int* data;
+}
+
+struct connection {
+  int state;
+  fn read_handler;
+  fn write_handler;
+  int* read_queue;
+  int* write_queue;
+}
+
+plugin plugins[6];
+connection conn_a;
+connection conn_b;
+
+int read_q[48];
+int write_q[48];
+int uri_buf[48];
+int header_out[48];
+
+int stat_requests;
+int stat_closed;
+
+// ---- plugin callbacks (merged by array-index insensitivity) ----
+int indexfile_uri(int* b) { stat_requests = stat_requests + 1; return 1; }
+int indexfile_req(int* b) { return 2; }
+int indexfile_close(int* b) { return 3; }
+int staticfile_uri(int* b) { stat_requests = stat_requests + 1; return 4; }
+int staticfile_req(int* b) { return 5; }
+int staticfile_close(int* b) { return 6; }
+int dirlist_uri(int* b) { stat_requests = stat_requests + 1; return 7; }
+int dirlist_req(int* b) { return 8; }
+int dirlist_close(int* b) { return 9; }
+int auth_uri(int* b) { stat_requests = stat_requests + 1; return 10; }
+int auth_req(int* b) { return 11; }
+int auth_close(int* b) { return 12; }
+int cgi_uri(int* b) { stat_requests = stat_requests + 1; return 13; }
+int cgi_req(int* b) { return 14; }
+int cgi_close(int* b) { return 15; }
+int rewrite_uri(int* b) { stat_requests = stat_requests + 1; return 16; }
+int rewrite_req(int* b) { return 17; }
+int rewrite_close(int* b) { stat_closed = stat_closed + 1; return 18; }
+
+int conn_read(int* b) { return 20; }
+int conn_write(int* b) { return 21; }
+int conn_read_ssl(int* b) { return 22; }
+int conn_write_ssl(int* b) { return 23; }
+
+// ---- plugin registration: array slots share one analysis element ----
+void plugin_register(int slot, fn uri_cb, fn req_cb, fn close_cb) {
+  plugins[slot].handle_uri = uri_cb;
+  plugins[slot].handle_request = req_cb;
+  plugins[slot].handle_close = close_cb;
+  plugins[slot].id = slot;
+}
+
+// ---- Ctx channel: connection setup helper ----
+void conn_set_handlers(connection* c, fn rcb, fn wcb) {
+  c->read_handler = rcb;
+  c->write_handler = wcb;
+}
+
+void conn_set_queues(connection* c, int* rq, int* wq) {
+  c->read_queue = rq;
+  c->write_queue = wq;
+}
+
+// ---- PA channel: header writing ----
+void http_write_header(char* s, char* src, int len) {
+  int i;
+  i = 0;
+  while (i < len) {
+    *(s + i) = *(src + i);
+    i = i + 1;
+  }
+}
+
+void flush_headers(int taint, int len) {
+  char* dst;
+  dst = header_out;
+  if (taint % 7 == 9) {  // never true
+    dst = &conn_a;
+  }
+  if (taint % 5 == 8) {  // never true
+    dst = &conn_b;
+  }
+  http_write_header(dst, uri_buf, len);
+}
+
+void server_init() {
+  plugin_register(0, indexfile_uri, indexfile_req, indexfile_close);
+  plugin_register(1, staticfile_uri, staticfile_req, staticfile_close);
+  plugin_register(2, dirlist_uri, dirlist_req, dirlist_close);
+  plugin_register(3, auth_uri, auth_req, auth_close);
+  plugin_register(4, cgi_uri, cgi_req, cgi_close);
+  plugin_register(5, rewrite_uri, rewrite_req, rewrite_close);
+  conn_set_handlers(&conn_a, conn_read, conn_write);
+  conn_set_handlers(&conn_b, conn_read_ssl, conn_write_ssl);
+  conn_set_queues(&conn_a, read_q, write_q);
+  conn_set_queues(&conn_b, read_q, write_q);
+}
+
+int handle_request(int slot, int len, int fill) {
+  int i;
+  int r;
+  i = 0;
+  while (i < len) {
+    uri_buf[i] = fill + i;
+    i = i + 1;
+  }
+  r = plugins[slot % 6].handle_uri(uri_buf);
+  r = r + plugins[slot % 6].handle_request(read_q);
+  r = r + conn_a.read_handler(conn_a.read_queue);
+  flush_headers(len, len % 48);
+  r = r + conn_a.write_handler(conn_a.write_queue);
+  if (fill % 3 == 0) {
+    r = r + plugins[slot % 6].handle_close(write_q);
+  }
+  return r;
+}
+
+int main() {
+  int n;
+  int slot;
+  int len;
+  int fill;
+  int req;
+  int total;
+  server_init();
+  n = input();
+  req = 0;
+  total = 0;
+  while (req < n) {
+    slot = input();
+    len = input();
+    fill = input();
+    total = total + handle_request(slot, len % 48, fill);
+    req = req + 1;
+  }
+  output(total);
+  output(stat_requests);
+  return total;
+}
+`

@@ -1,0 +1,417 @@
+package workload
+
+import "math/rand"
+
+// MbedTLS returns the SSL-library-like workload. It combines the paper's
+// three MbedTLS imprecision channels against the same ssl_context objects,
+// so that — as in Table 3 — every likely invariant must be enabled together
+// before the points-to sets shrink:
+//
+//   - arbitrary pointer arithmetic in buf_copy may (imprecisely) address the
+//     ssl contexts, collapsing their fields at baseline (§2.2, Figure 3);
+//   - a shared session-allocation wrapper creates a positive-weight cycle
+//     (Figure 7) whose baseline mitigation also collapses the contexts;
+//   - ssl_set_bio registers per-context callbacks from several callsites,
+//     cross-multiplying every context's callback table at baseline (§4.4).
+func MbedTLS() *App {
+	return &App{
+		Name:   "mbedtls",
+		Descr:  "SSL Library",
+		Source: mbedtlsSrc,
+		Requests: func(n int, seed int64) []int64 {
+			return stdRequests(n, seed, 3, func(r *rand.Rand, out []int64) {
+				out[0] = int64(r.Intn(4))  // op: handshake/read/write/close
+				out[1] = int64(r.Intn(48)) // payload length
+				out[2] = int64(r.Intn(9))  // payload byte
+			})
+		},
+		FuzzSeeds: [][]int64{
+			{2, 0, 8, 3, 1, 16, 5},
+			{1, 3, 4, 2},
+			{4, 2, 40, 1, 0, 0, 0, 3, 7, 7, 1, 30, 2},
+		},
+	}
+}
+
+const mbedtlsSrc = `
+// mbedtls-like synthetic workload: SSL contexts with BIO callbacks,
+// arena-allocated sessions, and record-layer buffer copies.
+
+struct ssl_context {
+  int state;
+  fn f_send;
+  fn f_recv;
+  fn f_recv_timeout;
+  fn f_dbg;
+  int* in_buf;
+  int* out_buf;
+}
+
+struct entropy_context {
+  fn f_entropy;
+  int accum;
+}
+
+struct cipher_suite {
+  int id;
+  fn enc;
+  fn dec;
+  fn mac;
+  fn setkey;
+}
+
+struct session {
+  int id;
+  int* ticket;
+  fn on_close;
+  session* next;
+}
+
+ssl_context ssl_cli;
+ssl_context ssl_srv;
+ssl_context ssl_dtls;
+ssl_context ssl_bak;
+entropy_context entropy;
+cipher_suite suite_aes;
+cipher_suite suite_chacha;
+cipher_suite suite_null;
+
+int net_in[64];
+int net_out[64];
+int rec_in[64];
+int rec_out[64];
+int ticket_store[16];
+
+int stat_sent;
+int stat_recv;
+int stat_closed;
+
+// ---- BIO callbacks ----
+int net_send(int* b) {
+  stat_sent = stat_sent + 1;
+  return 1;
+}
+int net_recv(int* b) {
+  stat_recv = stat_recv + 1;
+  return 2;
+}
+int net_recv_timeout(int* b) { return 3; }
+int udp_send(int* b) { return 11; }
+int udp_recv(int* b) { return 12; }
+int udp_recv_timeout(int* b) { return 13; }
+int null_send(int* b) { return 0; }
+int null_recv(int* b) { return 0; }
+int dbg_log(int* b) { return 4; }
+int dbg_null(int* b) { return 0; }
+int entropy_poll(int* b) { return 5; }
+int entropy_null(int* b) { return 0; }
+int close_notify(int* b) {
+  stat_closed = stat_closed + 1;
+  return 6;
+}
+
+// ---- cipher-suite primitives ----
+int aes_enc(int* b) { return 21; }
+int aes_dec(int* b) { return 22; }
+int aes_mac(int* b) { return 23; }
+int aes_setkey(int* b) { return 24; }
+int chacha_enc(int* b) { return 25; }
+int chacha_dec(int* b) { return 26; }
+int chacha_mac(int* b) { return 27; }
+int chacha_setkey(int* b) { return 28; }
+int null_enc(int* b) { return 0; }
+int null_dec(int* b) { return 0; }
+int null_mac(int* b) { return 0; }
+int null_setkey(int* b) { return 0; }
+
+// ---- Channel 1: arbitrary pointer arithmetic (PA, §4.2) ----
+// The record layer copies bytes with *(dst+i); statically opaque dead
+// branches make dst appear to also address the ssl contexts, which at
+// baseline turns the contexts field-insensitive.
+void buf_copy(char* dst, char* src, int len) {
+  int i;
+  i = 0;
+  while (i < len) {
+    *(dst + i) = *(src + i);
+    i = i + 1;
+  }
+}
+
+void record_flush(int taint, int len) {
+  char* dst;
+  char* srcp;
+  dst = net_out;
+  srcp = rec_out;
+  if (taint % 7 == 9) {   // never true; statically opaque
+    dst = &ssl_cli;
+  }
+  if (taint % 5 == 8) {   // never true
+    dst = &ssl_srv;
+  }
+  if (taint % 9 == 11) {  // never true
+    dst = &ssl_dtls;
+  }
+  if (taint % 3 == 5) {   // never true
+    dst = &ssl_bak;
+  }
+  if (taint % 17 == 19) { // never true
+    srcp = &ssl_srv;
+  }
+  if (taint % 19 == 21) { // never true
+    srcp = &ssl_dtls;
+  }
+  if (taint % 23 == 25) { // never true
+    dst = &suite_aes;
+  }
+  if (taint % 29 == 31) { // never true
+    dst = &suite_chacha;
+  }
+  if (taint % 31 == 33) { // never true
+    srcp = &suite_aes;
+  }
+  buf_copy(dst, srcp, len);
+}
+
+// ---- Channel 2: session arena positive-weight cycle (PWC, §4.3) ----
+// One allocation wrapper serves the slot table, the resume slot, and the
+// nodes, so the analysis sees a single heap object; storing the ticket
+// field's address through the confused resume slot closes a positive-weight
+// cycle exactly as in Figure 7. A dead branch threads the ssl contexts into
+// the cycle, so the baseline mitigation collapses them too.
+// The arena takes an explicit size; §6's interprocedural heap-type
+// propagation recovers the session type from the sizeof at the callsites.
+void* sess_alloc(int n) {
+  return malloc(n);
+}
+
+session** sess_table;
+int** resume_ptr;
+session* sess_head;
+
+void sess_init() {
+  sess_table = sess_alloc(sizeof(session));
+  resume_ptr = sess_alloc(sizeof(session));
+  *sess_table = null;
+}
+
+void sess_push(int id, int taint) {
+  session* node;
+  session* cur;
+  int** tick;
+  node = sess_alloc(sizeof(session));
+  node->id = id;
+  node->ticket = ticket_store;
+  node->on_close = &close_notify;
+  node->next = sess_head;
+  sess_head = node;
+  *sess_table = node;
+  cur = *sess_table;
+  if (taint % 11 == 13) {  // never true
+    char* confuse;
+    confuse = &ssl_cli;
+    cur = confuse;
+  }
+  if (taint % 13 == 17) {  // never true
+    char* confuse2;
+    confuse2 = &ssl_srv;
+    cur = confuse2;
+  }
+  if (taint % 19 == 23) {  // never true
+    char* confuse3;
+    confuse3 = &suite_aes;
+    cur = confuse3;
+  }
+  if (taint % 23 == 29) {  // never true
+    char* confuse4;
+    confuse4 = &suite_chacha;
+    cur = confuse4;
+  }
+  if (taint % 29 == 37) {  // never true
+    char* confuse5;
+    confuse5 = &suite_null;
+    cur = confuse5;
+  }
+  tick = &cur->ticket;
+  *resume_ptr = tick;
+}
+
+int sess_sweep() {
+  session* cur;
+  session* nxt;
+  int n;
+  n = 0;
+  cur = sess_head;
+  while (cur != null) {
+    nxt = cur->next;
+    cur->on_close(cur->ticket);
+    cur = nxt;
+    n = n + 1;
+  }
+  sess_head = null;
+  return n;
+}
+
+// ---- Channel 3: callback registration helpers (Ctx, §4.4) ----
+// Called from several sites with different callbacks; analyzed context-
+// insensitively this cross-multiplies every context's BIO table.
+void ssl_set_bio(ssl_context* c, fn send_cb, fn recv_cb, fn timeout_cb) {
+  c->f_send = send_cb;
+  c->f_recv = recv_cb;
+  c->f_recv_timeout = timeout_cb;
+}
+
+void ssl_set_dbg(ssl_context* c, fn dbg_cb) {
+  c->f_dbg = dbg_cb;
+}
+
+void ssl_set_buffers(ssl_context* c, int* in, int* out) {
+  c->in_buf = in;
+  c->out_buf = out;
+}
+
+void entropy_init(entropy_context* e, fn poll_cb) {
+  e->f_entropy = poll_cb;
+}
+
+void suite_register(cipher_suite* s, fn e, fn d, fn m, fn k) {
+  s->enc = e;
+  s->dec = d;
+  s->mac = m;
+  s->setkey = k;
+}
+
+void ssl_setup() {
+  ssl_set_bio(&ssl_cli, net_send, net_recv, net_recv_timeout);
+  ssl_set_bio(&ssl_srv, net_send, net_recv, net_recv_timeout);
+  ssl_set_bio(&ssl_dtls, udp_send, udp_recv, udp_recv_timeout);
+  ssl_set_bio(&ssl_bak, null_send, null_recv, null_recv);
+  ssl_set_dbg(&ssl_cli, dbg_log);
+  ssl_set_dbg(&ssl_srv, dbg_log);
+  ssl_set_dbg(&ssl_dtls, dbg_null);
+  ssl_set_dbg(&ssl_bak, dbg_null);
+  ssl_set_buffers(&ssl_cli, net_in, net_out);
+  ssl_set_buffers(&ssl_srv, net_in, net_out);
+  ssl_set_buffers(&ssl_dtls, rec_in, rec_out);
+  ssl_set_buffers(&ssl_bak, rec_in, rec_out);
+  entropy_init(&entropy, entropy_poll);
+  entropy_init(&entropy, entropy_null);
+  suite_register(&suite_aes, aes_enc, aes_dec, aes_mac, aes_setkey);
+  suite_register(&suite_chacha, chacha_enc, chacha_dec, chacha_mac, chacha_setkey);
+  suite_register(&suite_null, null_enc, null_dec, null_mac, null_setkey);
+  sess_init();
+}
+
+cipher_suite* pick_suite(int id) {
+  if (id % 3 == 0) {
+    return &suite_aes;
+  }
+  if (id % 3 == 1) {
+    return &suite_chacha;
+  }
+  return &suite_null;
+}
+
+int encrypt_record(int id, int len) {
+  cipher_suite* s;
+  int r;
+  s = pick_suite(id);
+  r = s->setkey(rec_out);
+  r = r + suite_aes.enc(rec_out);
+  r = r + suite_aes.mac(rec_out);
+  if (id % 3 == 1) {
+    r = r + suite_chacha.enc(rec_out);
+  }
+  return r;
+}
+
+// ---- request processing ----
+int handshake(int taint) {
+  int r;
+  r = entropy.f_entropy(null);
+  r = r + ssl_cli.f_send(ssl_cli.out_buf);
+  r = r + ssl_cli.f_recv(ssl_cli.in_buf);
+  sess_push(taint, taint);
+  return r;
+}
+
+int do_read(int len, int fill) {
+  int i;
+  i = 0;
+  while (i < len) {
+    rec_in[i] = fill;
+    i = i + 1;
+  }
+  buf_copy(net_in, rec_in, len);
+  return ssl_srv.f_recv_timeout(ssl_srv.in_buf);
+}
+
+int do_write(int len, int fill, int taint) {
+  int i;
+  int r;
+  i = 0;
+  while (i < len) {
+    rec_out[i] = fill + i;
+    i = i + 1;
+  }
+  r = encrypt_record(fill, len);
+  record_flush(taint, len);
+  return r + ssl_srv.f_send(ssl_srv.out_buf);
+}
+
+int do_close() {
+  int r;
+  r = ssl_dtls.f_send(ssl_dtls.out_buf);
+  return r + sess_sweep();
+}
+
+// Rare renegotiation path: the benchmark drivers never produce op == 53,
+// so these monitors stay cold under Table 4's drivers; a fuzzer can reach
+// them (Table 5).
+int renegotiate(int taint, int len) {
+  char* key;
+  int r;
+  key = rec_in;
+  if (taint % 37 == 41) {  // never true
+    key = &ssl_bak;
+  }
+  buf_copy(key, net_in, len % 24);
+  ssl_set_bio(&ssl_bak, net_send, net_recv, net_recv_timeout);
+  suite_register(&suite_null, aes_enc, aes_dec, aes_mac, aes_setkey);
+  r = ssl_bak.f_send(ssl_bak.out_buf);
+  return r + suite_null.enc(rec_in);
+}
+
+int main() {
+  int n;
+  int op;
+  int len;
+  int fill;
+  int req;
+  int total;
+  ssl_setup();
+  n = input();
+  req = 0;
+  total = 0;
+  while (req < n) {
+    op = input();
+    len = input();
+    fill = input();
+    if (op == 53) {
+      total = total + renegotiate(len, fill);
+    } else if (op % 4 == 0) {
+      total = total + handshake(len);
+    } else if (op % 4 == 1) {
+      total = total + do_read(len % 48, fill);
+    } else if (op % 4 == 2) {
+      total = total + do_write(len % 48, fill, len);
+    } else {
+      total = total + do_close();
+    }
+    req = req + 1;
+  }
+  output(total);
+  output(stat_sent);
+  output(stat_recv);
+  return total;
+}
+`

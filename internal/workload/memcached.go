@@ -1,0 +1,244 @@
+package workload
+
+import "math/rand"
+
+// Memcached returns the key-value-store-like workload. Like MbedTLS it
+// combines all three imprecision channels on the connection descriptors, but
+// with weaker coupling: single policies buy modest improvements and the full
+// combination recovers most of the precision (Table 3: 125.3 → 30.6).
+func Memcached() *App {
+	return &App{
+		Name:   "memcached",
+		Descr:  "Key-value Store",
+		Source: memcachedSrc,
+		Requests: func(n int, seed int64) []int64 {
+			return stdRequests(n, seed, 3, func(r *rand.Rand, out []int64) {
+				// 90:10 get/set mix, as in the paper's memaslap setup.
+				if r.Intn(10) == 0 {
+					out[0] = 1 // set
+				} else {
+					out[0] = 0 // get
+				}
+				out[1] = int64(r.Intn(31)) // key hash
+				out[2] = int64(r.Intn(9))  // value seed
+			})
+		},
+		FuzzSeeds: [][]int64{
+			{4, 0, 3, 1, 1, 7, 2, 0, 3, 9, 2, 11, 4},
+			{1, 1, 30, 6},
+		},
+	}
+}
+
+const memcachedSrc = `
+// memcached-like synthetic workload: connection state machine, slab
+// allocator, and protocol handlers.
+
+struct conn {
+  int state;
+  fn try_read;
+  fn try_write;
+  fn complete;
+  int* rbuf;
+  int* wbuf;
+}
+
+struct item {
+  int key;
+  int* value;
+  fn on_evict;
+  item* h_next;
+}
+
+conn conn_tcp;
+conn conn_udp;
+conn conn_unix;
+
+int rbuf_a[32];
+int wbuf_a[32];
+int rbuf_b[32];
+int wbuf_b[32];
+int slab_store[32];
+
+int stat_get;
+int stat_set;
+int stat_evict;
+
+// ---- protocol callbacks ----
+int tcp_read(int* b) { return 1; }
+int tcp_write(int* b) { return 2; }
+int tcp_complete(int* b) { return 3; }
+int udp_read(int* b) { return 4; }
+int udp_write(int* b) { return 5; }
+int udp_complete(int* b) { return 6; }
+int unix_read(int* b) { return 7; }
+int unix_write(int* b) { return 8; }
+int unix_complete(int* b) { return 9; }
+int evict_lru(int* b) { stat_evict = stat_evict + 1; return 10; }
+
+// ---- Channel 1: response assembly via pointer arithmetic (PA) ----
+void out_copy(char* dst, char* src, int len) {
+  int i;
+  i = 0;
+  while (i < len) {
+    *(dst + i) = *(src + i);
+    i = i + 1;
+  }
+}
+
+void assemble_response(int taint, int len) {
+  char* dst;
+  char* src;
+  dst = wbuf_a;
+  src = rbuf_a;
+  if (taint % 7 == 9) {  // never true
+    dst = &conn_tcp;
+  }
+  if (taint % 5 == 8) {  // never true
+    dst = &conn_udp;
+  }
+  if (taint % 3 == 5) {  // never true
+    src = &conn_unix;
+  }
+  out_copy(dst, src, len);
+}
+
+// ---- Channel 2: slab allocator positive-weight cycle (PWC) ----
+void* slab_alloc() {
+  return malloc(sizeof(item));
+}
+
+item** hash_table;
+int** lru_hint;
+item* lru_head;
+
+void slab_init() {
+  hash_table = slab_alloc();
+  lru_hint = slab_alloc();
+  *hash_table = null;
+}
+
+void item_link(int key, int taint) {
+  item* it;
+  item* cur;
+  int** vslot;
+  it = slab_alloc();
+  it->key = key;
+  it->value = slab_store;
+  it->on_evict = &evict_lru;
+  it->h_next = lru_head;
+  lru_head = it;
+  *hash_table = it;
+  cur = *hash_table;
+  if (taint % 11 == 13) {  // never true
+    char* confuse;
+    confuse = &conn_tcp;
+    cur = confuse;
+  }
+  vslot = &cur->value;
+  *lru_hint = vslot;
+}
+
+int lru_sweep() {
+  item* cur;
+  item* nxt;
+  int n;
+  n = 0;
+  cur = lru_head;
+  while (cur != null) {
+    nxt = cur->h_next;
+    cur->on_evict(cur->value);
+    cur = nxt;
+    n = n + 1;
+  }
+  lru_head = null;
+  return n;
+}
+
+// ---- Channel 3: connection event registration (Ctx) ----
+void event_set(conn* c, fn rcb, fn wcb, fn ccb) {
+  c->try_read = rcb;
+  c->try_write = wcb;
+  c->complete = ccb;
+}
+
+void conn_set_buffers(conn* c, int* rb, int* wb) {
+  c->rbuf = rb;
+  c->wbuf = wb;
+}
+
+void server_init() {
+  event_set(&conn_tcp, tcp_read, tcp_write, tcp_complete);
+  event_set(&conn_udp, udp_read, udp_write, udp_complete);
+  event_set(&conn_unix, unix_read, unix_write, unix_complete);
+  conn_set_buffers(&conn_tcp, rbuf_a, wbuf_a);
+  conn_set_buffers(&conn_udp, rbuf_b, wbuf_b);
+  conn_set_buffers(&conn_unix, rbuf_a, wbuf_b);
+  slab_init();
+}
+
+int do_get(int key, int fill) {
+  int r;
+  r = conn_tcp.try_read(conn_tcp.rbuf);
+  assemble_response(key, fill % 32);
+  r = r + conn_tcp.try_write(conn_tcp.wbuf);
+  stat_get = stat_get + 1;
+  return r;
+}
+
+int do_set(int key, int fill, int taint) {
+  int r;
+  r = conn_udp.try_read(conn_udp.rbuf);
+  item_link(key, taint);
+  r = r + conn_udp.complete(conn_udp.wbuf);
+  stat_set = stat_set + 1;
+  if (stat_set % 8 == 0) {
+    r = r + lru_sweep();
+  }
+  return r;
+}
+
+// Rare administrative path (the memaslap-style driver cannot send flush).
+int flush_all(int taint) {
+  char* dst;
+  int r;
+  dst = wbuf_b;
+  if (taint % 41 == 43) {  // never true
+    dst = &conn_unix;
+  }
+  out_copy(dst, rbuf_b, 8);
+  event_set(&conn_unix, unix_read, unix_write, unix_complete);
+  r = conn_unix.try_write(conn_unix.wbuf);
+  return r + lru_sweep();
+}
+
+int main() {
+  int n;
+  int op;
+  int key;
+  int fill;
+  int req;
+  int total;
+  server_init();
+  n = input();
+  req = 0;
+  total = 0;
+  while (req < n) {
+    op = input();
+    key = input();
+    fill = input();
+    if (op == 61) {
+      total = total + flush_all(key);
+    } else if (op % 2 == 0) {
+      total = total + do_get(key, fill);
+    } else {
+      total = total + do_set(key, fill, key);
+    }
+    req = req + 1;
+  }
+  output(total);
+  output(stat_get);
+  output(stat_set);
+  return total;
+}
+`

@@ -1,0 +1,173 @@
+package workload
+
+import "math/rand"
+
+// Wget returns the downloader-like workload. Its command-line options are
+// dispatched through a function-pointer array, so the largest points-to set
+// (the merged option-callback slot) is untouchable by any likely invariant —
+// Table 3 shows Wget's max column flat at 397 while Kd-PA improves the
+// average (6.16 → 3.76).
+func Wget() *App {
+	return &App{
+		Name:   "wget",
+		Descr:  "Webpage Downloader",
+		Source: wgetSrc,
+		Requests: func(n int, seed int64) []int64 {
+			return stdRequests(n, seed, 3, func(r *rand.Rand, out []int64) {
+				out[0] = int64(r.Intn(8))  // option index
+				out[1] = int64(r.Intn(36)) // url length
+				out[2] = int64(r.Intn(9))  // char seed
+			})
+		},
+		FuzzSeeds: [][]int64{
+			{3, 0, 12, 2, 5, 24, 1, 7, 6, 6},
+			{1, 6, 30, 4},
+		},
+	}
+}
+
+const wgetSrc = `
+// wget-like synthetic workload: option callbacks stored in an array, URL
+// rewriting via pointer arithmetic, and a retrieval loop.
+
+struct option {
+  int id;
+  fn set_opt;
+  int* value;
+}
+
+struct url_state {
+  int scheme;
+  fn fetch;
+  fn retry;
+  int* host_buf;
+  int* path_buf;
+}
+
+option opt_table[8];
+url_state url_http;
+url_state url_ftp;
+
+int url_buf[40];
+int host_buf[40];
+int path_buf[40];
+
+int stat_opts;
+int stat_fetches;
+
+// ---- option callbacks: merged by array-index insensitivity ----
+int opt_quiet(int* v) { stat_opts = stat_opts + 1; return 1; }
+int opt_verbose(int* v) { stat_opts = stat_opts + 1; return 2; }
+int opt_tries(int* v) { stat_opts = stat_opts + 1; return 3; }
+int opt_output(int* v) { stat_opts = stat_opts + 1; return 4; }
+int opt_recursive(int* v) { stat_opts = stat_opts + 1; return 5; }
+int opt_level(int* v) { stat_opts = stat_opts + 1; return 6; }
+int opt_continue(int* v) { stat_opts = stat_opts + 1; return 7; }
+int opt_mirror(int* v) { stat_opts = stat_opts + 1; return 8; }
+
+int http_fetch(int* b) { stat_fetches = stat_fetches + 1; return 10; }
+int http_retry(int* b) { return 11; }
+int ftp_fetch(int* b) { stat_fetches = stat_fetches + 1; return 12; }
+int ftp_retry(int* b) { return 13; }
+
+void options_init() {
+  opt_table[0].set_opt = &opt_quiet;
+  opt_table[1].set_opt = &opt_verbose;
+  opt_table[2].set_opt = &opt_tries;
+  opt_table[3].set_opt = &opt_output;
+  opt_table[4].set_opt = &opt_recursive;
+  opt_table[5].set_opt = &opt_level;
+  opt_table[6].set_opt = &opt_continue;
+  opt_table[7].set_opt = &opt_mirror;
+  opt_table[0].value = url_buf;
+  opt_table[1].value = host_buf;
+}
+
+// ---- PA channel: URL rewriting with arbitrary arithmetic ----
+void url_rewrite(char* dst, char* src, int len) {
+  int i;
+  i = 0;
+  while (i < len) {
+    *(dst + i) = *(src + i);
+    i = i + 1;
+  }
+}
+
+void canonicalize(int taint, int len) {
+  char* dst;
+  char* src;
+  dst = path_buf;
+  src = url_buf;
+  if (taint % 7 == 9) {  // never true
+    dst = &url_http;
+  }
+  if (taint % 5 == 8) {  // never true
+    dst = &url_ftp;
+  }
+  if (taint % 3 == 5) {  // never true
+    src = &url_http;
+  }
+  url_rewrite(dst, src, len);
+}
+
+void url_init() {
+  url_http.fetch = &http_fetch;
+  url_http.retry = &http_retry;
+  url_http.host_buf = host_buf;
+  url_http.path_buf = path_buf;
+  url_ftp.fetch = &ftp_fetch;
+  url_ftp.retry = &ftp_retry;
+  url_ftp.host_buf = host_buf;
+  url_ftp.path_buf = path_buf;
+}
+
+int apply_option(int idx, int len) {
+  return opt_table[idx % 8].set_opt(opt_table[idx % 8].value);
+}
+
+int retrieve(int idx, int len, int fill) {
+  int i;
+  int r;
+  i = 0;
+  while (i < len) {
+    url_buf[i] = fill + i;
+    i = i + 1;
+  }
+  canonicalize(len, len % 40);
+  if (idx % 2 == 0) {
+    r = url_http.fetch(url_http.path_buf);
+    if (r > 9) {
+      r = r + url_http.retry(url_http.host_buf);
+    }
+  } else {
+    r = url_ftp.fetch(url_ftp.path_buf);
+  }
+  return r;
+}
+
+int main() {
+  int n;
+  int idx;
+  int len;
+  int fill;
+  int req;
+  int total;
+  options_init();
+  url_init();
+  n = input();
+  req = 0;
+  total = 0;
+  while (req < n) {
+    idx = input();
+    len = input();
+    fill = input();
+    total = total + apply_option(idx, len);
+    total = total + retrieve(idx, len % 40, fill);
+    req = req + 1;
+  }
+  output(total);
+  output(stat_opts);
+  output(stat_fetches);
+  return total;
+}
+`

@@ -1,0 +1,117 @@
+// Package workload provides the nine synthetic applications used to
+// reproduce the paper's evaluation (Table 2). Each application is written in
+// MiniC and reproduces the imprecision-relevant idioms the paper reports for
+// its real counterpart:
+//
+//   - MbedTLS:   context smearing via *(s+i), heap-wrapper PWCs, and
+//     callback-registration helpers — all three invariants must
+//     combine for precision (§7.1).
+//   - Libtiff:   codec tables polluted mainly through arbitrary arithmetic;
+//     a smaller context-sensitivity channel.
+//   - Curl:      allocation through function pointers defeats the
+//     invariants; gains are capped (§7.2).
+//   - Lighttpd:  plugin callbacks in arrays — index insensitivity keeps the
+//     sets merged under every configuration (§7.2).
+//   - Memcached: conjunction pattern with moderate single-policy wins.
+//   - LibPNG:    chunk-handler registry where only the full combination
+//     restores precision.
+//   - Libxml:    SAX-style handler tables, moderate full-combination win.
+//   - Wget:      command-option callbacks in arrays; PA helps the average
+//     but the maximum set is untouched.
+//   - TinyDTLS:  PWC-dominated; the maximum set is untouched.
+//
+// Applications run on the interpreter via request drivers; the inputs a
+// driver generates never violate the likely invariants, mirroring the
+// paper's observation that no invariant fired during benchmarking (§7.2).
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// App is one synthetic evaluation application.
+type App struct {
+	Name   string
+	Descr  string // free-form description (Table 2)
+	Source string // MiniC source
+	// Requests generates a driver input stream for n requests.
+	Requests func(n int, seed int64) []int64
+	// FuzzSeeds are starting corpora for the §7.3 fuzzing campaign.
+	FuzzSeeds [][]int64
+
+	once sync.Once
+	mod  *ir.Module
+	err  error
+}
+
+// Module compiles (once) and returns the application's KIR module.
+func (a *App) Module() (*ir.Module, error) {
+	a.once.Do(func() {
+		a.mod, a.err = minic.Compile(a.Name, a.Source)
+	})
+	return a.mod, a.err
+}
+
+// MustModule is Module for contexts where the sources are known-good.
+func (a *App) MustModule() *ir.Module {
+	m, err := a.Module()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// LoC counts non-blank source lines (Table 2's size column).
+func (a *App) LoC() int {
+	n := 0
+	for _, line := range strings.Split(a.Source, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Apps returns the nine applications in the paper's order (Table 2).
+func Apps() []*App {
+	return []*App{
+		MbedTLS(),
+		Libtiff(),
+		Curl(),
+		Lighttpd(),
+		Memcached(),
+		LibPNG(),
+		Libxml(),
+		Wget(),
+		TinyDTLS(),
+	}
+}
+
+// ByName returns the named application or nil.
+func ByName(name string) *App {
+	for _, a := range Apps() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// stdRequests builds the common driver shape: a request count followed by
+// per-request opcodes and payloads drawn from gen.
+func stdRequests(n int, seed int64, perReq int, gen func(r *rand.Rand, out []int64)) []int64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int64, 0, 1+n*perReq)
+	out = append(out, int64(n))
+	buf := make([]int64, perReq)
+	for i := 0; i < n; i++ {
+		gen(r, buf)
+		out = append(out, buf...)
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/invariant"
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/stats"
+)
+
+func TestAllAppsCompile(t *testing.T) {
+	for _, app := range Apps() {
+		t.Run(app.Name, func(t *testing.T) {
+			m, err := app.Module()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if m.Func("main") == nil {
+				t.Fatal("no main function")
+			}
+			if app.LoC() < 80 {
+				t.Errorf("implausibly small source: %d LoC", app.LoC())
+			}
+			if len(app.FuzzSeeds) == 0 {
+				t.Error("no fuzz seeds")
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("mbedtls") == nil {
+		t.Error("mbedtls missing")
+	}
+	if ByName("nope") != nil {
+		t.Error("unknown app resolved")
+	}
+	if got := len(Apps()); got != 9 {
+		t.Errorf("apps = %d, want 9", got)
+	}
+}
+
+// Every hardened app must execute its request driver without faults, CFI
+// violations, or likely-invariant violations — the paper's core observation
+// (§7.2: "none of the likely invariants were violated at runtime").
+func TestAppsRunCleanUnderFullKaleidoscope(t *testing.T) {
+	for _, app := range Apps() {
+		t.Run(app.Name, func(t *testing.T) {
+			s := core.Analyze(app.MustModule(), invariant.All())
+			h := s.Harden()
+			for seed := int64(1); seed <= 3; seed++ {
+				e := h.NewExecution(true)
+				tr := e.Run("main", app.Requests(40, seed))
+				if tr.Err != nil {
+					t.Fatalf("seed %d: %v", seed, tr.Err)
+				}
+				if e.Switcher.Switched() {
+					t.Fatalf("seed %d: invariant violated: %v", seed, e.Switcher.Violations())
+				}
+				if e.Runtime.CFILookups == 0 {
+					t.Errorf("seed %d: no CFI lookups", seed)
+				}
+				// Optimistic soundness on violation-free runs.
+				if bad := core.SoundnessReport(s.Optimistic, tr); len(bad) != 0 {
+					t.Errorf("seed %d: optimistic unsound:\n%v", seed, bad)
+				}
+				if bad := core.SoundnessReport(s.Fallback, tr); len(bad) != 0 {
+					t.Errorf("seed %d: fallback unsound:\n%v", seed, bad)
+				}
+			}
+		})
+	}
+}
+
+// The full configuration must improve the average points-to size on every
+// application (Table 3's Factor column is > 1 for all nine).
+func TestAppsPrecisionImproves(t *testing.T) {
+	for _, app := range Apps() {
+		t.Run(app.Name, func(t *testing.T) {
+			s := core.Analyze(app.MustModule(), invariant.All())
+			base := stats.Mean(s.Sizes(s.Fallback))
+			opt := stats.Mean(s.Sizes(s.Optimistic))
+			if opt >= base {
+				t.Errorf("no improvement: baseline %.2f, kaleidoscope %.2f", base, opt)
+			}
+		})
+	}
+}
+
+// Per-app shape assertions from Table 3 / §7.2.
+func TestMbedTLSNeedsAllThreeInvariants(t *testing.T) {
+	m := MbedTLS().MustModule()
+	base := stats.Mean(coreSizes(t, m, invariant.Config{}))
+	full := stats.Mean(coreSizes(t, m, invariant.All()))
+	for _, cfg := range []invariant.Config{{Ctx: true}, {PA: true}, {PWC: true}} {
+		single := stats.Mean(coreSizes(t, m, cfg))
+		// Each single policy must recover well under half of the full gain.
+		if (base - single) > 0.6*(base-full) {
+			t.Errorf("%s alone recovers too much: base %.2f single %.2f full %.2f",
+				cfg.Name(), base, single, full)
+		}
+	}
+}
+
+func TestLibtiffPADominant(t *testing.T) {
+	m := Libtiff().MustModule()
+	base := stats.Mean(coreSizes(t, m, invariant.Config{}))
+	pa := stats.Mean(coreSizes(t, m, invariant.Config{PA: true}))
+	pwc := stats.Mean(coreSizes(t, m, invariant.Config{PWC: true}))
+	full := stats.Mean(coreSizes(t, m, invariant.All()))
+	if (base - pa) < 0.7*(base-full) {
+		t.Errorf("PA not dominant: base %.2f pa %.2f full %.2f", base, pa, full)
+	}
+	if pwc != base {
+		t.Errorf("PWC unexpectedly changed libtiff: %.2f vs %.2f", pwc, base)
+	}
+}
+
+func TestCurlFullGainCapped(t *testing.T) {
+	m := Curl().MustModule()
+	base := stats.Mean(coreSizes(t, m, invariant.Config{}))
+	full := stats.Mean(coreSizes(t, m, invariant.All()))
+	factor := stats.Factor(base, full)
+	if factor > 2.5 {
+		t.Errorf("curl factor %.2f too large; allocator pattern should cap it", factor)
+	}
+	if factor <= 1.05 {
+		t.Errorf("curl factor %.2f shows no gain at all", factor)
+	}
+}
+
+func TestWgetAndTinyDTLSMaxUnchanged(t *testing.T) {
+	for _, app := range []*App{Wget(), TinyDTLS()} {
+		t.Run(app.Name, func(t *testing.T) {
+			m := app.MustModule()
+			base := stats.Max(coreSizes(t, m, invariant.Config{}))
+			full := stats.Max(coreSizes(t, m, invariant.All()))
+			if full != base {
+				t.Errorf("max changed: baseline %d, kaleidoscope %d", base, full)
+			}
+		})
+	}
+}
+
+func TestTinyDTLSPWCDominant(t *testing.T) {
+	m := TinyDTLS().MustModule()
+	base := stats.Mean(coreSizes(t, m, invariant.Config{}))
+	pwc := stats.Mean(coreSizes(t, m, invariant.Config{PWC: true}))
+	full := stats.Mean(coreSizes(t, m, invariant.All()))
+	if pwc != full {
+		t.Errorf("PWC alone (%.2f) should equal full (%.2f)", pwc, full)
+	}
+	if pwc >= base {
+		t.Errorf("PWC gave no gain: %.2f vs %.2f", pwc, base)
+	}
+}
+
+func TestLighttpdCFIMuted(t *testing.T) {
+	s := core.Analyze(Lighttpd().MustModule(), invariant.All())
+	h := s.Harden()
+	if h.Optimistic.MaxTargets() != h.Fallback.MaxTargets() {
+		t.Errorf("plugin-array merging should keep the max CFI class: opt %d, fb %d",
+			h.Optimistic.MaxTargets(), h.Fallback.MaxTargets())
+	}
+}
+
+func coreSizes(t *testing.T, m *ir.Module, cfg invariant.Config) []int {
+	t.Helper()
+	s := core.Analyze(m, cfg)
+	return s.Sizes(s.Optimistic)
+}
+
+// Soundness property over randomly generated programs: on any execution, the
+// dynamic points-to relation must be covered by the fallback analysis, and —
+// when no monitor fires — by the optimistic analysis too.
+func TestRandomProgramSoundness(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		src := RandomProgram(seed)
+		m, err := minic.Compile("rand", src)
+		if err != nil {
+			t.Fatalf("seed %d: generated program does not compile: %v\n%s", seed, err, src)
+		}
+		s := core.Analyze(m, invariant.All())
+		h := s.Harden()
+		for in := int64(0); in < 3; in++ {
+			e := h.NewExecution(true)
+			inputs := []int64{in, in * 3, 7 - in, in + 1, 2, 5, 1, 0, 4, 6, 3, 2, 1}
+			tr := e.Run("main", inputs)
+			if tr.Err != nil {
+				// Random programs may fault (e.g. division); the trace up to
+				// the fault must still be sound.
+				t.Logf("seed %d input %d: fault: %v", seed, in, tr.Err)
+			}
+			if bad := core.SoundnessReport(s.Fallback, tr); len(bad) != 0 {
+				t.Fatalf("seed %d input %d: fallback unsound:\n%v\nprogram:\n%s", seed, in, bad, src)
+			}
+			if !e.Switcher.Switched() {
+				if bad := core.SoundnessReport(s.Optimistic, tr); len(bad) != 0 {
+					t.Fatalf("seed %d input %d: optimistic unsound without violation:\n%v\nprogram:\n%s", seed, in, bad, src)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomProgramsDeterministic(t *testing.T) {
+	if RandomProgram(42) != RandomProgram(42) {
+		t.Error("generator not deterministic")
+	}
+	if RandomProgram(1) == RandomProgram(2) {
+		t.Error("different seeds produced identical programs")
+	}
+}
