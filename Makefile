@@ -1,0 +1,31 @@
+# Development entry points for the Kaleidoscope reproduction. Everything is
+# plain go-tool invocations; the Makefile just names the common bundles.
+
+GO ?= go
+
+.PHONY: all build test race vet bench check
+
+all: check
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: run the full test suite (the tier-1 gate)
+test:
+	$(GO) test ./...
+
+## race: race-detect the concurrent packages (worker pool, telemetry)
+race:
+	$(GO) test -race ./internal/runner ./internal/telemetry
+
+## vet: static checks
+vet:
+	$(GO) vet ./...
+
+## bench: run the evaluation benchmarks
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+## check: everything a PR must pass
+check: build vet test race

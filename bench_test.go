@@ -231,3 +231,32 @@ func BenchmarkIncrementalRestore(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkAnalyzeAllSession measures the full 9-app × 8-config analysis
+// matrix through the worker-pool session at several pool widths. On a
+// multicore host the parallel variants approach linear speedup; on one core
+// they measure the pool's scheduling overhead (which should be negligible).
+func BenchmarkAnalyzeAllSession(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := experiments.NewSession(benchOpt, workers, nil)
+				if len(s.AnalyzeAll()) != 9 {
+					b.Fatal("bad matrix")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSessionReuse measures an evaluation-shaped sequence (Table 3
+// data, Table 4, debloating) on one shared session, where every artifact
+// after the first hits the memoized analysis cache.
+func BenchmarkSessionReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSession(benchOpt, 1, nil)
+		if len(s.AnalyzeAll()) != 9 || len(s.Table4Data()) != 9 || len(s.ExtDebloatData()) != 9 {
+			b.Fatal("bad session")
+		}
+	}
+}

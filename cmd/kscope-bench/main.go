@@ -16,6 +16,12 @@
 //	-runs N        repetitions for throughput (default 3)
 //	-fuzz N        fuzzing executions per application (default 400)
 //	-seed N        base RNG seed (default 1)
+//	-parallel N    worker-pool width (0 = GOMAXPROCS, 1 = serial)
+//	-metrics       print a solver/interpreter telemetry snapshot on stderr
+//
+// Output is byte-identical for every -parallel value (Figure 13's wall-clock
+// throughput numbers are the only run-to-run variation, and they vary at
+// -parallel 1 too).
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 // intList collects repeatable integer flags.
@@ -50,6 +57,8 @@ func main() {
 	fuzz := flag.Int("fuzz", 0, "fuzzing executions per application")
 	seed := flag.Int64("seed", 0, "base RNG seed")
 	csvDir := flag.String("csv", "", "also export points-to sets and CFI policies as CSV into this directory")
+	parallel := flag.Int("parallel", 1, "worker-pool width (0 = GOMAXPROCS)")
+	metrics := flag.Bool("metrics", false, "print a telemetry snapshot on stderr after the run")
 	var exts stringList
 	flag.Var(&tables, "table", "table number to regenerate (repeatable)")
 	flag.Var(&figs, "fig", "figure number to regenerate (repeatable)")
@@ -72,11 +81,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	// One session for the whole run: all artifacts share its worker pool and
+	// its per-(app, config) analysis cache, and report into one registry.
+	var reg *telemetry.Registry
+	if *metrics {
+		reg = telemetry.New()
+	}
+	sess := experiments.NewSession(opt, *parallel, reg)
+
 	// The analysis-only artifacts share one AnalyzeAll pass.
 	var data []*experiments.AppData
 	needData := func() []*experiments.AppData {
 		if data == nil {
-			data = experiments.AnalyzeAll()
+			data = sess.AnalyzeAll()
 		}
 		return data
 	}
@@ -84,7 +101,7 @@ func main() {
 	var out []string
 	for _, f := range figs {
 		if f == 1 {
-			out = append(out, experiments.Figure1(opt))
+			out = append(out, sess.Figure1())
 		}
 	}
 	for _, t := range tables {
@@ -94,9 +111,9 @@ func main() {
 		case 3:
 			out = append(out, experiments.Table3(needData()))
 		case 4:
-			out = append(out, experiments.Table4(opt))
+			out = append(out, sess.Table4())
 		case 5:
-			out = append(out, experiments.Table5(opt))
+			out = append(out, sess.Table5())
 		default:
 			fmt.Fprintf(os.Stderr, "kscope-bench: no table %d\n", t)
 			os.Exit(2)
@@ -113,7 +130,7 @@ func main() {
 		case 12:
 			out = append(out, experiments.Figure12(needData()))
 		case 13:
-			out = append(out, experiments.Figure13(opt))
+			out = append(out, sess.Figure13())
 		default:
 			fmt.Fprintf(os.Stderr, "kscope-bench: no figure %d\n", f)
 			os.Exit(2)
@@ -122,9 +139,9 @@ func main() {
 	for _, e := range exts {
 		switch e {
 		case "debloat":
-			out = append(out, experiments.ExtDebloat())
+			out = append(out, sess.ExtDebloat())
 		case "graded":
-			out = append(out, experiments.ExtGraded())
+			out = append(out, sess.ExtGraded())
 		case "incremental":
 			out = append(out, experiments.ExtIncremental())
 		default:
@@ -140,6 +157,9 @@ func main() {
 		fmt.Printf("CSV results written to %s\n", *csvDir)
 	}
 	fmt.Println(strings.Join(out, "\n"))
+	if reg != nil {
+		fmt.Fprint(os.Stderr, reg.Snapshot().Text())
+	}
 }
 
 // stringList collects repeatable string flags.

@@ -20,6 +20,7 @@ import (
 	"repro/internal/memview"
 	"repro/internal/minic"
 	"repro/internal/pointsto"
+	"repro/internal/telemetry"
 )
 
 // System is the result of the IGO analysis on one module: the two points-to
@@ -30,19 +31,49 @@ type System struct {
 	Config     invariant.Config
 	Fallback   *pointsto.Result // stage ① — sound, imprecise
 	Optimistic *pointsto.Result // stage ② — precise while the invariants hold
+	// Metrics, when non-nil, receives solver and interpreter telemetry from
+	// this system and every execution derived from it.
+	Metrics *telemetry.Registry
 }
 
 // Analyze runs the IGO pointer analysis with the given likely-invariant
 // configuration. With no invariants enabled the optimistic result aliases
 // the fallback.
 func Analyze(m *ir.Module, cfg invariant.Config) *System {
-	s := &System{Module: m, Config: cfg}
-	s.Fallback = pointsto.New(m, invariant.Config{}).Solve()
+	return AnalyzeWithMetrics(m, cfg, nil)
+}
+
+// AnalyzeWithMetrics is Analyze with an attached telemetry registry: the
+// fallback and optimistic stages are timed separately, and both solver runs
+// report their constraint/worklist/SCC statistics into the registry.
+func AnalyzeWithMetrics(m *ir.Module, cfg invariant.Config, metrics *telemetry.Registry) *System {
+	return AnalyzeWithFallback(m, cfg, nil, metrics)
+}
+
+// AnalyzeWithFallback is AnalyzeWithMetrics with an optionally precomputed
+// stage-① result. The fallback analysis is configuration-independent, so
+// batch drivers (internal/runner) solve it once per module and share it
+// across all optimistic configurations; passing nil computes it here.
+func AnalyzeWithFallback(m *ir.Module, cfg invariant.Config, fallback *pointsto.Result, metrics *telemetry.Registry) *System {
+	s := &System{Module: m, Config: cfg, Metrics: metrics}
+	if fallback == nil {
+		stop := metrics.Timer("core/stage/fallback").Start()
+		a := pointsto.New(m, invariant.Config{})
+		a.SetMetrics(metrics)
+		fallback = a.Solve()
+		stop()
+	}
+	s.Fallback = fallback
 	if cfg.Any() {
-		s.Optimistic = pointsto.New(m, cfg).Solve()
+		stop := metrics.Timer("core/stage/optimistic").Start()
+		a := pointsto.New(m, cfg)
+		a.SetMetrics(metrics)
+		s.Optimistic = a.Solve()
+		stop()
 	} else {
 		s.Optimistic = s.Fallback
 	}
+	metrics.Counter("core/analyses").Inc()
 	return s
 }
 
@@ -112,6 +143,7 @@ func (h *Hardened) NewExecution(track bool) *Execution {
 		Hooks:         rt,
 		Instr:         ins,
 		TrackPointsTo: track,
+		Metrics:       h.Sys.Metrics,
 	})
 	return &Execution{Machine: mc, Runtime: rt, Switcher: sw, Instr: ins}
 }

@@ -93,11 +93,9 @@ func ConfigNames() []string {
 	return out
 }
 
-// AnalyzeAll analyzes every application.
+// AnalyzeAll analyzes every application serially. Batch callers that want
+// worker-pool parallelism, telemetry, or analysis reuse across artifacts
+// should construct a Session and call its AnalyzeAll instead.
 func AnalyzeAll() []*AppData {
-	var out []*AppData
-	for _, app := range workload.Apps() {
-		out = append(out, AnalyzeApp(app))
-	}
-	return out
+	return serialSession(Options{}).AnalyzeAll()
 }

@@ -22,28 +22,31 @@ type ExtDebloatRow struct {
 }
 
 // ExtDebloatData computes the callgraph-debloating comparison for every
-// application.
-func ExtDebloatData() []ExtDebloatRow {
-	var rows []ExtDebloatRow
-	for _, app := range workload.Apps() {
-		sys := core.Analyze(app.MustModule(), invariant.All())
-		rep := debloat.Compute(sys, "main")
-		rows = append(rows, ExtDebloatRow{
+// application, one app per worker-pool job. Debloating is pure analysis, so
+// a failure is a programming error and propagates as a panic.
+func (s *Session) ExtDebloatData() []ExtDebloatRow {
+	stop := s.Metrics.Timer("experiments/ext-debloat").Start()
+	defer stop()
+	return perApp(s.workers(), func(app *workload.App) ExtDebloatRow {
+		rep := debloat.Compute(s.System(app, invariant.All()), "main")
+		return ExtDebloatRow{
 			App:            app.Name,
 			Functions:      rep.Total,
 			KeepFallback:   len(rep.KeepFall),
 			KeepOptimistic: len(rep.KeepOpt),
-		})
-	}
-	return rows
+		}
+	}, func(app *workload.App, err error) ExtDebloatRow { panic(err) })
 }
 
+// ExtDebloatData is the serial convenience form of Session.ExtDebloatData.
+func ExtDebloatData() []ExtDebloatRow { return serialSession(Options{}).ExtDebloatData() }
+
 // ExtDebloat renders the debloating extension experiment.
-func ExtDebloat() string {
+func (s *Session) ExtDebloat() string {
 	var b strings.Builder
 	b.WriteString("Extension (paper §8): callgraph debloating under both memory views\n")
 	t := stats.NewTable("Application", "Functions", "Fallback keeps", "Kaleidoscope keeps", "Extra removed")
-	for _, r := range ExtDebloatData() {
+	for _, r := range s.ExtDebloatData() {
 		t.AddRow(r.App,
 			fmt.Sprintf("%d", r.Functions),
 			fmt.Sprintf("%d (%s)", r.KeepFallback, stats.Pct(float64(r.KeepFallback)/float64(r.Functions))),
@@ -55,6 +58,9 @@ func ExtDebloat() string {
 	return b.String()
 }
 
+// ExtDebloat is the serial convenience form of Session.ExtDebloat.
+func ExtDebloat() string { return serialSession(Options{}).ExtDebloat() }
+
 // ExtGradedRow summarizes graded-fallback CFI tightness per level for one
 // application (§8's finer-grained fallback).
 type ExtGradedRow struct {
@@ -62,29 +68,34 @@ type ExtGradedRow struct {
 	Levels map[string]float64 // config name -> avg CFI targets
 }
 
-// ExtGradedData computes per-level CFI tightness.
-func ExtGradedData() []ExtGradedRow {
-	var rows []ExtGradedRow
-	for _, app := range workload.Apps() {
+// ExtGradedData computes per-level CFI tightness, one app per worker-pool
+// job. Graded analysis runs its own ablation ladder, so it bypasses the
+// session cache; like all pure-analysis drivers, failures panic.
+func (s *Session) ExtGradedData() []ExtGradedRow {
+	stop := s.Metrics.Timer("experiments/ext-graded").Start()
+	defer stop()
+	return perApp(s.workers(), func(app *workload.App) ExtGradedRow {
 		g := core.AnalyzeGraded(app.MustModule())
 		row := ExtGradedRow{App: app.Name, Levels: map[string]float64{}}
 		for name, p := range g.Policies {
 			row.Levels[name] = p.AvgTargets()
 		}
-		rows = append(rows, row)
-	}
-	return rows
+		return row
+	}, func(app *workload.App, err error) ExtGradedRow { panic(err) })
 }
+
+// ExtGradedData is the serial convenience form of Session.ExtGradedData.
+func ExtGradedData() []ExtGradedRow { return serialSession(Options{}).ExtGradedData() }
 
 // ExtGraded renders the graded-fallback extension experiment: the CFI
 // tightness of every degradation level between full Kaleidoscope and the
 // fallback.
-func ExtGraded() string {
+func (s *Session) ExtGraded() string {
 	var b strings.Builder
 	b.WriteString("Extension (paper §8): graded fallback — CFI tightness per degradation level\n")
 	names := ConfigNames()
 	t := stats.NewTable(append([]string{"Application"}, names...)...)
-	for _, r := range ExtGradedData() {
+	for _, r := range s.ExtGradedData() {
 		cells := []string{r.App}
 		for _, n := range names {
 			cells = append(cells, stats.F(r.Levels[n]))
@@ -95,6 +106,9 @@ func ExtGraded() string {
 	b.WriteString("one violation degrades a single policy: the system lands on an intermediate\ncolumn instead of falling all the way back to Baseline\n")
 	return b.String()
 }
+
+// ExtGraded is the serial convenience form of Session.ExtGraded.
+func ExtGraded() string { return serialSession(Options{}).ExtGraded() }
 
 // incrementalDemoSrc is a small program with a live PA violation trigger,
 // used to demonstrate incremental re-analysis (§8's second alternative).

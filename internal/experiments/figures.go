@@ -5,7 +5,6 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/invariant"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -21,15 +20,15 @@ type Figure1Data struct {
 
 // Figure1Compute runs the MbedTLS-like workload and compares static CFI
 // target counts with runtime-observed targets (paper Figure 1).
-func Figure1Compute(opt Options) *Figure1Data {
-	opt = opt.withDefaults()
+func (s *Session) Figure1Compute() *Figure1Data {
+	stop := s.Metrics.Timer("experiments/figure1").Start()
+	defer stop()
 	app := workload.MbedTLS()
-	s := core.Analyze(app.MustModule(), invariant.Config{})
-	h := s.Harden()
+	h := s.System(app, invariant.Config{}).Harden()
 	e := h.NewExecution(true)
-	merged := e.Run("main", app.Requests(opt.Requests, opt.Seed))
-	for r := 1; r < opt.Runs; r++ {
-		merged.Merge(h.NewExecution(true).Run("main", app.Requests(opt.Requests, opt.Seed+int64(r))))
+	merged := e.Run("main", app.Requests(s.Opt.Requests, s.Opt.Seed))
+	for r := 1; r < s.Opt.Runs; r++ {
+		merged.Merge(h.NewExecution(true).Run("main", app.Requests(s.Opt.Requests, s.Opt.Seed+int64(r))))
 	}
 	d := &Figure1Data{}
 	sites := h.Fallback.Sites
@@ -42,9 +41,12 @@ func Figure1Compute(opt Options) *Figure1Data {
 	return d
 }
 
+// Figure1Compute is the serial convenience form of Session.Figure1Compute.
+func Figure1Compute(opt Options) *Figure1Data { return serialSession(opt).Figure1Compute() }
+
 // Figure1 renders the static-vs-observed comparison.
-func Figure1(opt Options) string {
-	d := Figure1Compute(opt)
+func (s *Session) Figure1() string {
+	d := s.Figure1Compute()
 	var b strings.Builder
 	b.WriteString("Figure 1: Indirect callsite targets for the MbedTLS-like workload\n")
 	t := stats.NewTable("Callsite", "Static Analysis", "Runtime Observed")
@@ -61,6 +63,9 @@ func Figure1(opt Options) string {
 		stats.Factor(float64(sSum), float64(oSum)))
 	return b.String()
 }
+
+// Figure1 is the serial convenience form of Session.Figure1.
+func Figure1(opt Options) string { return serialSession(opt).Figure1() }
 
 // boxFigure renders a per-app, per-config ASCII box-plot figure.
 func boxFigure(title string, data []*AppData, series func(d *AppData, cfg string) []int) string {

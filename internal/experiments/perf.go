@@ -5,7 +5,6 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/invariant"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -22,6 +21,8 @@ type PerfRow struct {
 	// ViolationsObserved counts invariant violations during benchmarking
 	// (the paper observes zero).
 	ViolationsObserved int
+	// Err is set when the app's measurement driver crashed.
+	Err error
 }
 
 // Figure13Data benchmarks every application under every configuration:
@@ -29,23 +30,28 @@ type PerfRow struct {
 // requests per wall-clock second. The Baseline configuration carries CFI
 // checks derived from the imprecise analysis but no monitors; Kaleidoscope
 // configurations add their likely-invariant monitors.
-func Figure13Data(opt Options) []PerfRow {
-	opt = opt.withDefaults()
-	var rows []PerfRow
-	for _, app := range workload.Apps() {
+//
+// The analyses come from the session cache, but the measurement loops always
+// run on a single goroutine — even in a parallel session — because
+// concurrent cells would contend for cores and distort each other's
+// wall-clock throughput. This is the one artifact whose numbers are not
+// byte-reproducible across runs.
+func (s *Session) Figure13Data() []PerfRow {
+	stop := s.Metrics.Timer("experiments/figure13").Start()
+	defer stop()
+	return perApp(1, func(app *workload.App) PerfRow {
 		row := PerfRow{
 			App:        app.Name,
 			Throughput: map[string]float64{},
 			Overhead:   map[string]float64{},
 		}
-		m := app.MustModule()
 		for _, cfg := range invariant.Ablations() {
-			h := core.Analyze(m, cfg).Harden()
+			h := s.System(app, cfg).Harden()
 			// Warm-up run (allocator and cache effects), then median-of-N.
-			h.NewExecution(false).Run("main", app.Requests(opt.PerfRequests/4, opt.Seed))
+			h.NewExecution(false).Run("main", app.Requests(s.Opt.PerfRequests/4, s.Opt.Seed))
 			var samples []float64
-			for r := 0; r < opt.Runs; r++ {
-				inputs := app.Requests(opt.PerfRequests, opt.Seed+int64(r))
+			for r := 0; r < s.Opt.Runs; r++ {
+				inputs := app.Requests(s.Opt.PerfRequests, s.Opt.Seed+int64(r))
 				e := h.NewExecution(false)
 				start := time.Now()
 				tr := e.Run("main", inputs)
@@ -54,7 +60,7 @@ func Figure13Data(opt Options) []PerfRow {
 					continue
 				}
 				row.ViolationsObserved += len(e.Switcher.Violations())
-				samples = append(samples, float64(opt.PerfRequests)/elapsed.Seconds())
+				samples = append(samples, float64(s.Opt.PerfRequests)/elapsed.Seconds())
 				if cfg == invariant.All() && r == 0 && tr.MemOps > 0 {
 					row.CheckDensity = float64(e.Runtime.ChecksPerformed) / float64(tr.MemOps)
 				}
@@ -67,10 +73,14 @@ func Figure13Data(opt Options) []PerfRow {
 				row.Overhead[name] = base/tp - 1
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows
+		return row
+	}, func(app *workload.App, err error) PerfRow {
+		return PerfRow{App: app.Name, Err: err}
+	})
 }
+
+// Figure13Data is the serial convenience form of Session.Figure13Data.
+func Figure13Data(opt Options) []PerfRow { return serialSession(opt).Figure13Data() }
 
 // median returns the middle sample (0 for empty input).
 func median(xs []float64) float64 {
@@ -87,8 +97,8 @@ func median(xs []float64) float64 {
 }
 
 // Figure13 renders the throughput comparison.
-func Figure13(opt Options) string {
-	rows := Figure13Data(opt)
+func (s *Session) Figure13() string {
+	rows := s.Figure13Data()
 	names := ConfigNames()
 	var b strings.Builder
 	b.WriteString("Figure 13: Average throughput of the hardened applications (requests/sec)\n")
@@ -96,7 +106,13 @@ func Figure13(opt Options) string {
 	var ovSum float64
 	var ovMax float64
 	var maxApp string
+	measured := 0
 	for _, r := range rows {
+		if r.Err != nil {
+			t.AddRow(r.App, "ERROR: "+r.Err.Error())
+			continue
+		}
+		measured++
 		cells := []string{r.App}
 		for _, n := range names {
 			cells = append(cells, fmt.Sprintf("%.0f", r.Throughput[n]))
@@ -111,7 +127,12 @@ func Figure13(opt Options) string {
 		t.AddRow(cells...)
 	}
 	b.WriteString(t.String())
-	fmt.Fprintf(&b, "average Kaleidoscope overhead %s, maximum %s (%s); no invariant violations observed\n",
-		stats.Pct(ovSum/float64(len(rows))), stats.Pct(ovMax), maxApp)
+	if measured > 0 {
+		fmt.Fprintf(&b, "average Kaleidoscope overhead %s, maximum %s (%s); no invariant violations observed\n",
+			stats.Pct(ovSum/float64(measured)), stats.Pct(ovMax), maxApp)
+	}
 	return b.String()
 }
+
+// Figure13 is the serial convenience form of Session.Figure13.
+func Figure13(opt Options) string { return serialSession(opt).Figure13() }

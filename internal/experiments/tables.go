@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/fuzzer"
 	"repro/internal/invariant"
 	"repro/internal/stats"
@@ -76,7 +75,8 @@ func Table3(data []*AppData) string {
 	return b.String()
 }
 
-// CoverageRow is one application's row of Table 4 or 5.
+// CoverageRow is one application's row of Table 4 or 5. Err is set when the
+// app's driver crashed (the row renders as an error instead of numbers).
 type CoverageRow struct {
 	App           string
 	BranchTotal   int
@@ -85,47 +85,51 @@ type CoverageRow struct {
 	MonitorExec   int
 	Violations    int
 	CFIViolations int
+	Err           error
 }
 
 // Table4Data runs the CFI benchmark drivers and collects coverage
-// (paper Table 4).
-func Table4Data(opt Options) []CoverageRow {
-	opt = opt.withDefaults()
-	var rows []CoverageRow
-	for _, app := range workload.Apps() {
-		h := core.Analyze(app.MustModule(), invariant.All()).Harden()
+// (paper Table 4), one application per worker-pool job.
+func (s *Session) Table4Data() []CoverageRow {
+	stop := s.Metrics.Timer("experiments/table4").Start()
+	defer stop()
+	return perApp(s.workers(), func(app *workload.App) CoverageRow {
+		h := s.System(app, invariant.All()).Harden()
 		e := h.NewExecution(false)
-		merged := e.Run("main", app.Requests(opt.Requests, opt.Seed))
+		merged := e.Run("main", app.Requests(s.Opt.Requests, s.Opt.Seed))
 		violations := len(e.Switcher.Violations())
-		for r := 1; r < opt.Runs; r++ {
+		for r := 1; r < s.Opt.Runs; r++ {
 			e2 := h.NewExecution(false)
-			merged.Merge(e2.Run("main", app.Requests(opt.Requests, opt.Seed+int64(r))))
+			merged.Merge(e2.Run("main", app.Requests(s.Opt.Requests, s.Opt.Seed+int64(r))))
 			violations += len(e2.Switcher.Violations())
 		}
 		exec, total := merged.BranchCoverage()
-		rows = append(rows, CoverageRow{
+		return CoverageRow{
 			App:          app.Name,
 			BranchTotal:  total,
 			BranchExec:   exec,
 			MonitorTotal: h.MonitorSites(),
 			MonitorExec:  merged.MonitorsExecuted(),
 			Violations:   violations,
-		})
-	}
-	return rows
+		}
+	}, coverageErrRow)
 }
 
-// Table5Data runs the fuzzing campaign (paper Table 5).
-func Table5Data(opt Options) []CoverageRow {
-	opt = opt.withDefaults()
-	var rows []CoverageRow
-	for _, app := range workload.Apps() {
-		h := core.Analyze(app.MustModule(), invariant.All()).Harden()
+// Table4Data is the serial convenience form of Session.Table4Data.
+func Table4Data(opt Options) []CoverageRow { return serialSession(opt).Table4Data() }
+
+// Table5Data runs the fuzzing campaign (paper Table 5), one application per
+// worker-pool job.
+func (s *Session) Table5Data() []CoverageRow {
+	stop := s.Metrics.Timer("experiments/table5").Start()
+	defer stop()
+	return perApp(s.workers(), func(app *workload.App) CoverageRow {
+		h := s.System(app, invariant.All()).Harden()
 		rep := fuzzer.Run(h, "main", app.FuzzSeeds, fuzzer.Config{
-			Iterations: opt.FuzzIters,
-			Seed:       opt.Seed,
+			Iterations: s.Opt.FuzzIters,
+			Seed:       s.Opt.Seed,
 		})
-		rows = append(rows, CoverageRow{
+		return CoverageRow{
 			App:           app.Name,
 			BranchTotal:   rep.BranchTotal,
 			BranchExec:    rep.BranchExec,
@@ -133,9 +137,16 @@ func Table5Data(opt Options) []CoverageRow {
 			MonitorExec:   rep.MonitorExec,
 			Violations:    len(rep.Violations),
 			CFIViolations: rep.CFIViolations,
-		})
-	}
-	return rows
+		}
+	}, coverageErrRow)
+}
+
+// Table5Data is the serial convenience form of Session.Table5Data.
+func Table5Data(opt Options) []CoverageRow { return serialSession(opt).Table5Data() }
+
+// coverageErrRow turns a crashed per-app driver into an error row.
+func coverageErrRow(app *workload.App, err error) CoverageRow {
+	return CoverageRow{App: app.Name, Err: err}
 }
 
 // renderCoverage renders Table 4/5-style coverage rows.
@@ -144,6 +155,11 @@ func renderCoverage(title string, rows []CoverageRow) string {
 		"Monitors Total", "Exec.", "Perc.", "Invariant Violations")
 	var bSum, bTot, mSum, mTot float64
 	for _, r := range rows {
+		if r.Err != nil {
+			// Crashed driver: an error row, excluded from the summary sums.
+			t.AddRow(r.App, "-", "-", "-", "-", "-", "-", "ERROR: "+r.Err.Error())
+			continue
+		}
 		bPct, mPct := 0.0, 0.0
 		if r.BranchTotal > 0 {
 			bPct = float64(r.BranchExec) / float64(r.BranchTotal)
@@ -160,17 +176,26 @@ func renderCoverage(title string, rows []CoverageRow) string {
 			fmt.Sprintf("%d", r.MonitorTotal), fmt.Sprintf("%d", r.MonitorExec), stats.Pct(mPct),
 			fmt.Sprintf("%d", r.Violations))
 	}
-	summary := fmt.Sprintf("overall: %s of branches, %s of runtime monitors executed\n",
-		stats.Pct(bSum/bTot), stats.Pct(mSum/mTot))
+	summary := ""
+	if bTot > 0 && mTot > 0 {
+		summary = fmt.Sprintf("overall: %s of branches, %s of runtime monitors executed\n",
+			stats.Pct(bSum/bTot), stats.Pct(mSum/mTot))
+	}
 	return title + "\n" + t.String() + summary
 }
 
 // Table4 renders branch and monitor coverage for the CFI evaluation.
-func Table4(opt Options) string {
-	return renderCoverage("Table 4: Branch and runtime monitor coverage for CFI evaluation", Table4Data(opt))
+func (s *Session) Table4() string {
+	return renderCoverage("Table 4: Branch and runtime monitor coverage for CFI evaluation", s.Table4Data())
 }
 
+// Table4 is the serial convenience form of Session.Table4.
+func Table4(opt Options) string { return serialSession(opt).Table4() }
+
 // Table5 renders branch and monitor coverage after the fuzzing campaign.
-func Table5(opt Options) string {
-	return renderCoverage("Table 5: Coverage for likely-invariant validation through fuzzing", Table5Data(opt))
+func (s *Session) Table5() string {
+	return renderCoverage("Table 5: Coverage for likely-invariant validation through fuzzing", s.Table5Data())
 }
+
+// Table5 is the serial convenience form of Session.Table5.
+func Table5(opt Options) string { return serialSession(opt).Table5() }

@@ -133,6 +133,7 @@ func (mc *Machine) call(cf *cfunc, args []Value) (Value, error) {
 				res := PtrVal(base.Obj, base.Off+in.off)
 				if in.hooked {
 					mc.trace.recordMonitor(in.site)
+					mc.fires.field++
 					mc.hooks.FieldAddr(in.site, base, res)
 				}
 				mc.set(fr, in.dst, res)
@@ -149,6 +150,7 @@ func (mc *Machine) call(cf *cfunc, args []Value) (Value, error) {
 				}
 				if in.hooked {
 					mc.trace.recordMonitor(in.site)
+					mc.fires.ptrAdd++
 					mc.hooks.PtrAdd(in.site, base)
 				}
 				mc.set(fr, in.dst, PtrVal(base.Obj, base.Off+int(fr.regs[in.b].Int)))
@@ -156,6 +158,7 @@ func (mc *Machine) call(cf *cfunc, args []Value) (Value, error) {
 				args := mc.gatherArgs(fr, in.args)
 				if in.hooked {
 					mc.trace.recordMonitor(in.site)
+					mc.fires.ctxCall++
 					rec := make([]Value, 0, len(in.ctxArgs))
 					for _, i := range in.ctxArgs {
 						if i < len(args) {
@@ -175,8 +178,11 @@ func (mc *Machine) call(cf *cfunc, args []Value) (Value, error) {
 					return Value{}, &RuntimeError{Site: in.site, Msg: "indirect call through non-function value " + fv.String()}
 				}
 				mc.trace.recordICall(in.site, fv.Fn)
-				if mc.instr.CheckICalls && !mc.hooks.CheckICall(in.site, fv.Fn) {
-					return Value{}, &CFIViolation{Site: in.site, Target: fv.Fn}
+				if mc.instr.CheckICalls {
+					mc.fires.cfi++
+					if !mc.hooks.CheckICall(in.site, fv.Fn) {
+						return Value{}, &CFIViolation{Site: in.site, Target: fv.Fn}
+					}
 				}
 				callee := mc.funcs[fv.Fn]
 				if callee == nil {
@@ -231,6 +237,7 @@ func oobMsg(op string, addr Value) string {
 // stack slot (the register holds the slot address).
 func (mc *Machine) fireCtxCheck(fr *frame, in *cinstr) {
 	mc.trace.recordMonitor(in.site)
+	mc.fires.ctxCheck++
 	vals := make([]Value, len(in.samples))
 	for i, s := range in.samples {
 		v := fr.regs[s.reg]

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/invariant"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // Hooks receives instrumentation callbacks during execution. The memory-view
@@ -74,6 +75,9 @@ type Config struct {
 	Instr         *Instrumentation
 	HeapSlots     int // runtime slots for unknown-type mallocs (default 16)
 	MaxDepth      int // call-stack depth limit (default 512)
+	// Metrics, when non-nil, receives per-run execution telemetry: steps,
+	// memory operations, monitor fires per invariant kind, and CFI lookups.
+	Metrics *telemetry.Registry
 }
 
 // CFIViolation is returned when an indirect call is blocked by the active
@@ -110,6 +114,18 @@ type Machine struct {
 	inPos   int
 	steps   int64
 	depth   int
+	fires   monitorFires
+}
+
+// monitorFires accumulates hook invocations per kind for one Run. Counts are
+// kept as plain locals on the machine (no atomics on the hot path) and
+// flushed into the telemetry registry when the run finishes.
+type monitorFires struct {
+	ptrAdd   int64 // PA monitors fired
+	field    int64 // PWC monitors fired
+	ctxCall  int64 // Ctx callsite recordings
+	ctxCheck int64 // Ctx critical-site checks
+	cfi      int64 // CFI target lookups
 }
 
 // New creates a machine for m.
@@ -161,6 +177,7 @@ func (mc *Machine) Run(entry string, inputs []int64) *Trace {
 	mc.inPos = 0
 	mc.steps = 0
 	mc.depth = 0
+	mc.fires = monitorFires{}
 	f := mc.funcs[entry]
 	if f == nil {
 		mc.trace.Err = &RuntimeError{Msg: fmt.Sprintf("no entry function %q", entry)}
@@ -172,5 +189,23 @@ func (mc *Machine) Run(entry string, inputs []int64) *Trace {
 		mc.trace.Result = ret.Int
 	}
 	mc.trace.Steps = mc.steps
+	mc.flushMetrics()
 	return mc.trace
+}
+
+// flushMetrics exports one run's execution counts into the telemetry
+// registry (no-op without one).
+func (mc *Machine) flushMetrics() {
+	r := mc.cfg.Metrics
+	if r == nil {
+		return
+	}
+	r.Counter("interp/runs").Inc()
+	r.Counter("interp/steps").Add(mc.steps)
+	r.Counter("interp/memops").Add(mc.trace.MemOps)
+	r.Counter("interp/monitor/ptradd").Add(mc.fires.ptrAdd)
+	r.Counter("interp/monitor/fieldaddr").Add(mc.fires.field)
+	r.Counter("interp/monitor/ctxcall").Add(mc.fires.ctxCall)
+	r.Counter("interp/monitor/ctxcheck").Add(mc.fires.ctxCheck)
+	r.Counter("interp/cfi/lookups").Add(mc.fires.cfi)
 }

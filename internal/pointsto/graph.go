@@ -4,6 +4,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/invariant"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // gepEdge is a weighted Field-Of edge: pts(to) ⊇ {o+off | o ∈ pts(from)}.
@@ -69,6 +70,8 @@ type Stats struct {
 	DerivedEdges   int // derived copy edges added during resolution
 	FieldCollapses int // objects turned field-insensitive
 	SCCCollapses   int // cycle nodes merged
+	SCCPasses      int // cycle-detection sweeps over the constraint graph
+	Waves          int // wave-propagation rounds (wave strategy only)
 	PWCs           int // positive-weight cycles encountered
 	MonitorSites   int // runtime monitors implied by assumed invariants
 }
@@ -148,7 +151,9 @@ type Analysis struct {
 	naive      bool            // skip copy-cycle collapse (ablation)
 	wave       bool            // use wave propagation instead of the plain worklist
 
-	stats Stats
+	stats   Stats
+	flushed Stats               // stats already exported to metrics
+	metrics *telemetry.Registry // nil disables telemetry
 }
 
 // SetNaive disables copy-cycle collapse (positive-weight-cycle handling is
@@ -179,6 +184,13 @@ func New(m *ir.Module, cfg invariant.Config) *Analysis {
 	a.build()
 	return a
 }
+
+// SetMetrics attaches a telemetry registry; the solver reports constraint
+// counts, worklist pops, SCC/wave rounds, and per-phase wall time into it at
+// the end of every Solve (and of every incremental re-solve). A nil registry
+// (the default) keeps the solver telemetry-free. Must be called before
+// Solve.
+func (a *Analysis) SetMetrics(r *telemetry.Registry) { a.metrics = r }
 
 // SetTracer installs an introspection tracer; it must be called before Solve.
 func (a *Analysis) SetTracer(t Tracer) {

@@ -64,10 +64,11 @@ func (r *Result) ObjectByFunc(name string) *Object { return r.a.objByFunc[name] 
 
 // canonicalRefs converts a raw points-to set into deduplicated ObjRefs.
 // Elements are always concrete object-slot node ids; slots of objects that
-// lost field sensitivity collapse onto slot 0.
+// lost field sensitivity collapse onto slot 0. Representative lookups use
+// the read-only find so a finished Result can serve concurrent readers.
 func (r *Result) canonicalRefs(ptsNode int) []ObjRef {
 	a := r.a
-	n := a.find(ptsNode)
+	n := a.findRead(ptsNode)
 	if a.pts[n] == nil {
 		return nil
 	}
@@ -223,7 +224,7 @@ func (r *Result) Provenance(fn, reg string, obj *Object, slot int) []Origin {
 	if !ok || r.a.provs == nil {
 		return nil
 	}
-	entries := r.a.provs[provKey{int32(r.a.find(id)), int32(obj.NodeBase + slot)}]
+	entries := r.a.provs[provKey{int32(r.a.findRead(id)), int32(obj.NodeBase + slot)}]
 	var out []Origin
 	for _, e := range entries {
 		out = append(out, Origin{Site: int(e.site), Trigger: int(e.srcNode)})
@@ -244,7 +245,7 @@ func (r *Result) Backtrack(fn, reg string, obj *Object) []int {
 		return nil
 	}
 	var sites []int
-	cur := int32(a.find(id))
+	cur := int32(a.findRead(id))
 	target := int32(obj.NodeBase)
 	for level := 0; level < 5; level++ {
 		entries := a.provs[provKey{cur, target}]
@@ -256,7 +257,7 @@ func (r *Result) Backtrack(fn, reg string, obj *Object) []int {
 		if e.srcNode < 0 {
 			break // primitive Addr-Of
 		}
-		cur = int32(a.find(int(e.srcNode)))
+		cur = int32(a.findRead(int(e.srcNode)))
 	}
 	return sites
 }

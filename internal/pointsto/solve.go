@@ -20,19 +20,71 @@ func (a *Analysis) Solve() *Result {
 // resolve runs propagation + cycle detection to a fixed point; it is also
 // the incremental re-solve entry used by Restore.
 func (a *Analysis) resolve() {
+	stop := a.metrics.Timer("pointsto/phase/solve").Start()
 	if a.wave {
 		a.solveWave()
 	} else {
 		a.ensureWL()
 		for {
+			stopP := a.metrics.Timer("pointsto/phase/propagate").Start()
 			a.drain()
-			if !a.sccPass() {
+			stopP()
+			stopS := a.metrics.Timer("pointsto/phase/scc").Start()
+			changed := a.sccPass()
+			stopS()
+			if !changed {
 				break
 			}
 		}
 	}
 	_, mons := a.invariantRecords()
 	a.stats.MonitorSites = len(mons)
+	// Flatten the union-find so post-solve readers (Result methods) can
+	// resolve representatives without path-compression writes; a finished
+	// analysis may then be read from many goroutines concurrently.
+	a.flattenReps()
+	stop()
+	a.flushMetrics()
+}
+
+// flattenReps fully path-compresses every union-find pointer.
+func (a *Analysis) flattenReps() {
+	for i := range a.rep {
+		a.rep[i] = int32(a.find(i))
+	}
+}
+
+// findRead resolves the representative of x without path compression. After
+// flattenReps this is a single hop; it performs no writes, so concurrent
+// readers of a finished analysis can share it safely.
+func (a *Analysis) findRead(x int) int {
+	for a.rep[x] != int32(x) {
+		x = int(a.rep[x])
+	}
+	return x
+}
+
+// flushMetrics exports the solver statistics accumulated since the previous
+// flush into the attached telemetry registry (no-op without one). Deltas are
+// used so incremental re-solves add only their own work.
+func (a *Analysis) flushMetrics() {
+	if a.metrics == nil {
+		return
+	}
+	d, prev := a.stats, a.flushed
+	a.flushed = a.stats
+	m := a.metrics
+	m.Counter("pointsto/solves").Inc()
+	m.Counter("pointsto/worklist/pops").Add(int64(d.Iterations - prev.Iterations))
+	m.Counter("pointsto/constraints/copy").Add(int64(d.CopyEdges - prev.CopyEdges))
+	m.Counter("pointsto/constraints/derived").Add(int64(d.DerivedEdges - prev.DerivedEdges))
+	m.Counter("pointsto/scc/passes").Add(int64(d.SCCPasses - prev.SCCPasses))
+	m.Counter("pointsto/scc/collapsed-nodes").Add(int64(d.SCCCollapses - prev.SCCCollapses))
+	m.Counter("pointsto/pwc/cycles").Add(int64(d.PWCs - prev.PWCs))
+	m.Counter("pointsto/field/collapses").Add(int64(d.FieldCollapses - prev.FieldCollapses))
+	m.Counter("pointsto/wave/rounds").Add(int64(d.Waves - prev.Waves))
+	m.Gauge("pointsto/graph/nodes").SetMax(int64(len(a.nodes)))
+	m.Gauge("pointsto/graph/objects").SetMax(int64(len(a.objects)))
 }
 
 // drain processes the worklist to exhaustion.
@@ -162,6 +214,7 @@ func (a *Analysis) connectICall(n int, s *icallSite, elems []int) {
 // records them and defers any collapse (§4.3). Returns whether the graph
 // changed (requiring another propagation round).
 func (a *Analysis) sccPass() bool {
+	a.stats.SCCPasses++
 	sccs := a.tarjan()
 	changed := false
 	for _, scc := range sccs {

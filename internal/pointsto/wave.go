@@ -16,6 +16,8 @@ func (a *Analysis) SetWave(wave bool) { a.wave = wave }
 func (a *Analysis) solveWave() {
 	a.ensureWL()
 	for {
+		a.stats.Waves++
+		stopW := a.metrics.Timer("pointsto/phase/wave").Start()
 		// Collapse copy cycles first so the remaining graph is (nearly) a
 		// DAG; PWC handling follows the configured policy.
 		changed := a.sccPass()
@@ -32,6 +34,7 @@ func (a *Analysis) solveWave() {
 		}
 		// Drain any residual work (derived edges may point upstream).
 		a.drain()
+		stopW()
 		if !changed && !a.sccPass() {
 			// One more quiescence check: nothing changed structurally and
 			// the worklist is empty.

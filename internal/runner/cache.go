@@ -1,0 +1,81 @@
+package runner
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/invariant"
+	"repro/internal/pointsto"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// cacheKey identifies one memoized analysis.
+type cacheKey struct {
+	app string
+	cfg string
+}
+
+// cacheEntry is a single-flight slot: the first requester solves, concurrent
+// requesters for the same key block on the same Once and share the result.
+type cacheEntry struct {
+	once sync.Once
+	sys  *core.System
+}
+
+// Cache memoizes IGO analyses per (application, invariant configuration).
+// One evaluation run needs the same analysis in several artifacts (Table 3,
+// Figures 10–13, Tables 4–5, the §8 extension drivers); the cache makes each
+// pair solve exactly once, and shares the configuration-independent fallback
+// result across all configurations of an application, halving the remaining
+// solver work. Safe for concurrent use from Map workers.
+type Cache struct {
+	metrics *telemetry.Registry
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+}
+
+// NewCache returns an empty cache. The registry (may be nil) receives
+// cache hit/miss counters and is attached to every analysis the cache runs.
+func NewCache(metrics *telemetry.Registry) *Cache {
+	return &Cache{metrics: metrics, entries: map[cacheKey]*cacheEntry{}}
+}
+
+// System returns the memoized analysis of app under cfg, computing it on
+// first request. The fallback stage is taken from the memoized Baseline
+// entry, so it is solved once per application no matter how many
+// configurations are requested.
+func (c *Cache) System(app *workload.App, cfg invariant.Config) *core.System {
+	c.metrics.Counter("runner/cache/requests").Inc()
+	e := c.entry(cacheKey{app: app.Name, cfg: cfg.Name()})
+	e.once.Do(func() {
+		c.metrics.Counter("runner/cache/misses").Inc()
+		var fallback *pointsto.Result
+		if cfg.Any() {
+			// Recurse to the Baseline entry (a different key, so the nested
+			// Once cannot deadlock) and reuse its solved fallback.
+			fallback = c.System(app, invariant.Config{}).Fallback
+		}
+		e.sys = core.AnalyzeWithFallback(app.MustModule(), cfg, fallback, c.metrics)
+	})
+	return e.sys
+}
+
+// entry returns (creating if needed) the slot for key.
+func (c *Cache) entry(key cacheKey) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	return e
+}
+
+// Len returns the number of memoized entries (test/diagnostic use).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

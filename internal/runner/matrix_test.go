@@ -1,0 +1,81 @@
+package runner_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/telemetry"
+)
+
+// matrixOpt keeps the full-matrix determinism test fast; the artifacts still
+// cover every app, configuration, and driver path.
+var matrixOpt = experiments.Options{Requests: 40, PerfRequests: 200, Runs: 2, FuzzIters: 40, Seed: 1}
+
+// renderAll regenerates every deterministic artifact on one session.
+// Figure 13 is deliberately absent: its cells are wall-clock throughput and
+// differ between any two runs, serial or not.
+func renderAll(t *testing.T, parallel int, reg *telemetry.Registry) map[string]string {
+	t.Helper()
+	s := experiments.NewSession(matrixOpt, parallel, reg)
+	data := s.AnalyzeAll()
+	return map[string]string{
+		"Figure1":    s.Figure1(),
+		"Table2":     experiments.Table2(),
+		"Table3":     experiments.Table3(data),
+		"Figure10":   experiments.Figure10(data),
+		"Figure11":   experiments.Figure11(data),
+		"Figure12":   experiments.Figure12(data),
+		"Table4":     s.Table4(),
+		"Table5":     s.Table5(),
+		"ExtDebloat": s.ExtDebloat(),
+		"ExtGraded":  s.ExtGraded(),
+	}
+}
+
+// TestParallelMatchesSerial is the pipeline's determinism contract: a
+// session running the full evaluation matrix on 8 workers renders every
+// artifact byte-identical to the single-worker reference.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation matrix")
+	}
+	serial := renderAll(t, 1, nil)
+	parallel := renderAll(t, 8, nil)
+	for name, want := range serial {
+		if got := parallel[name]; got != want {
+			t.Errorf("%s differs between -parallel 1 and -parallel 8:\n--- serial ---\n%s\n--- parallel ---\n%s", name, want, got)
+		}
+	}
+}
+
+// TestSessionTelemetry checks a metered run exports the expected counter
+// families from every layer the pipeline instruments.
+func TestSessionTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation matrix")
+	}
+	reg := telemetry.New()
+	renderAll(t, 4, reg)
+	snap := reg.Snapshot()
+	for _, key := range []string{
+		"runner/cache/requests",
+		"runner/cache/misses",
+		"core/analyses",
+		"pointsto/solves",
+		"pointsto/worklist/pops",
+		"interp/runs",
+		"interp/monitor/ptradd",
+		"interp/cfi/lookups",
+	} {
+		if snap.Counters[key] == 0 {
+			t.Errorf("counter %s not populated (snapshot:\n%s)", key, snap.Text())
+		}
+	}
+	// 9 apps × 8 configs, plus nothing else: every artifact reuses the cache.
+	if got := snap.Counters["runner/cache/misses"]; got != 72 {
+		t.Errorf("cache misses = %d, want 72 (9 apps x 8 configs)", got)
+	}
+	if len(snap.Timers) == 0 {
+		t.Error("no phase timers recorded")
+	}
+}

@@ -1,0 +1,95 @@
+// Package runner is the concurrent batch driver behind the evaluation
+// pipeline: a worker-pool Map that fans independent jobs (the app ×
+// invariant-configuration matrix of §7) across GOMAXPROCS goroutines with
+// deterministic result ordering and per-job panic recovery, plus a
+// memoized, single-flight analysis Cache so every (application,
+// configuration) pair is solved at most once per evaluation run.
+//
+// Determinism contract: Map assigns job i's outcome to result slot i
+// regardless of completion order, and every job in this repository is a pure
+// function of its inputs, so a run at -parallel 8 renders byte-identical
+// tables and figures to a run at -parallel 1 (asserted by tests).
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Result is one job's outcome, delivered in submission order.
+type Result[T any] struct {
+	Index   int
+	Value   T
+	Err     error // non-nil if the job returned an error or panicked
+	Elapsed time.Duration
+}
+
+// PanicError wraps a recovered job panic so one crashing workload reports an
+// error row instead of killing the whole batch.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("job panicked: %v", e.Value) }
+
+// Map runs fn(0..n-1) across a pool of `workers` goroutines (GOMAXPROCS if
+// workers <= 0) and returns the results indexed by job number. Jobs are
+// claimed from a shared atomic cursor, so workers stay busy regardless of
+// per-job cost skew; a panicking job is recovered into its Result.
+func Map[T any](n, workers int, fn func(i int) (T, error)) []Result[T] {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]Result[T], n)
+	if workers == 1 {
+		// Serial fast path: no goroutine or scheduling overhead, identical
+		// semantics (this is the -parallel 1 reference the byte-identity
+		// tests compare against).
+		for i := 0; i < n; i++ {
+			out[i] = runJob(i, fn)
+		}
+		return out
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = runJob(i, fn)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// runJob executes one job with panic recovery and timing.
+func runJob[T any](i int, fn func(i int) (T, error)) (res Result[T]) {
+	res.Index = i
+	start := time.Now()
+	defer func() {
+		res.Elapsed = time.Since(start)
+		if p := recover(); p != nil {
+			res.Err = &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}()
+	res.Value, res.Err = fn(i)
+	return res
+}

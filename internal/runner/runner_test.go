@@ -1,0 +1,153 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/invariant"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// TestMapOrdering checks results land in submission order for every pool
+// width, including widths above the job count.
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		res := Map(20, workers, func(i int) (int, error) { return i * i, nil })
+		if len(res) != 20 {
+			t.Fatalf("workers=%d: got %d results", workers, len(res))
+		}
+		for i, r := range res {
+			if r.Index != i || r.Value != i*i || r.Err != nil {
+				t.Errorf("workers=%d: slot %d = %+v", workers, i, r)
+			}
+		}
+	}
+}
+
+// TestMapEmpty checks n <= 0 is a no-op.
+func TestMapEmpty(t *testing.T) {
+	if res := Map(0, 4, func(i int) (int, error) { return 0, nil }); res != nil {
+		t.Errorf("Map(0) = %v, want nil", res)
+	}
+}
+
+// TestMapError checks job errors land on their own row only.
+func TestMapError(t *testing.T) {
+	sentinel := errors.New("boom")
+	res := Map(5, 3, func(i int) (int, error) {
+		if i == 2 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	for i, r := range res {
+		if i == 2 {
+			if !errors.Is(r.Err, sentinel) {
+				t.Errorf("slot 2 err = %v, want sentinel", r.Err)
+			}
+			continue
+		}
+		if r.Err != nil || r.Value != i {
+			t.Errorf("slot %d = %+v", i, r)
+		}
+	}
+}
+
+// TestMapPanicRecovery checks a panicking job becomes a PanicError row with
+// a stack trace while its siblings complete normally.
+func TestMapPanicRecovery(t *testing.T) {
+	res := Map(4, 2, func(i int) (string, error) {
+		if i == 1 {
+			panic(fmt.Sprintf("job %d exploded", i))
+		}
+		return "ok", nil
+	})
+	var pe *PanicError
+	if !errors.As(res[1].Err, &pe) {
+		t.Fatalf("slot 1 err = %v, want PanicError", res[1].Err)
+	}
+	if !strings.Contains(pe.Error(), "job 1 exploded") {
+		t.Errorf("PanicError message = %q", pe.Error())
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError carries no stack")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if res[i].Err != nil || res[i].Value != "ok" {
+			t.Errorf("slot %d = %+v", i, res[i])
+		}
+	}
+}
+
+// TestMapWorkerCap checks concurrency never exceeds the requested width.
+func TestMapWorkerCap(t *testing.T) {
+	const workers = 3
+	var cur, peak int64
+	var mu sync.Mutex
+	Map(30, workers, func(i int) (int, error) {
+		n := atomic.AddInt64(&cur, 1)
+		mu.Lock()
+		if n > peak {
+			peak = n
+		}
+		mu.Unlock()
+		defer atomic.AddInt64(&cur, -1)
+		return i, nil
+	})
+	if peak > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", peak, workers)
+	}
+}
+
+// TestCacheSingleFlight requests the same analysis from many goroutines and
+// checks it is solved exactly once, everyone sharing the same *System.
+func TestCacheSingleFlight(t *testing.T) {
+	reg := telemetry.New()
+	c := NewCache(reg)
+	app := workload.ByName("tinydtls")
+	res := Map(8, 8, func(i int) (any, error) {
+		return c.System(app, invariant.All()), nil
+	})
+	for i := 1; i < len(res); i++ {
+		if res[i].Value != res[0].Value {
+			t.Fatal("concurrent requesters got different *System values")
+		}
+	}
+	// All()-config entry plus the Baseline entry it recursed into.
+	if got := c.Len(); got != 2 {
+		t.Errorf("cache has %d entries, want 2", got)
+	}
+	if got := reg.Counter("runner/cache/misses").Value(); got != 2 {
+		t.Errorf("misses = %d, want 2", got)
+	}
+	if got := reg.Counter("runner/cache/requests").Value(); got != 9 {
+		t.Errorf("requests = %d, want 9 (8 callers + 1 fallback recursion)", got)
+	}
+	if got := reg.Counter("core/analyses").Value(); got != 2 {
+		t.Errorf("core/analyses = %d, want 2 (baseline + optimistic)", got)
+	}
+}
+
+// TestCacheSharesFallback checks the configuration-independent fallback
+// result is pointer-shared between the Baseline entry and an invariant
+// configuration's entry.
+func TestCacheSharesFallback(t *testing.T) {
+	c := NewCache(nil)
+	app := workload.ByName("tinydtls")
+	base := c.System(app, invariant.Config{})
+	full := c.System(app, invariant.All())
+	if base.Fallback != full.Fallback {
+		t.Error("fallback result not shared across configurations")
+	}
+	if base.Optimistic != base.Fallback {
+		t.Error("baseline optimistic view should alias its fallback")
+	}
+	if full.Optimistic == full.Fallback {
+		t.Error("invariant config should have a distinct optimistic result")
+	}
+}

@@ -1,0 +1,296 @@
+// Package telemetry is a lightweight metrics substrate for the analysis
+// pipeline: named counters, gauges, and phase timers backed by sync/atomic,
+// collected in a Registry and exported as aligned text or JSON snapshots.
+//
+// The solver (internal/pointsto), the IGO engine (internal/core), the
+// monitored interpreter (internal/interp), and the batch runner
+// (internal/runner) all report into a shared Registry when one is attached;
+// with no registry attached every instrument degrades to a no-op. All
+// instruments are safe for concurrent writers, so one Registry can aggregate
+// across the worker pool of a parallel evaluation run.
+//
+// A nil *Registry is valid and inert: it hands out nil instruments whose
+// methods do nothing, so call sites never need a nil check.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ v int64 }
+
+// Add increments the counter by n. Safe on a nil Counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		atomic.AddInt64(&c.v, n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&c.v)
+}
+
+// Gauge is a last-or-peak value (graph sizes, pool widths).
+type Gauge struct{ v int64 }
+
+// Set stores n. Safe on a nil Gauge.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		atomic.StoreInt64(&g.v, n)
+	}
+}
+
+// SetMax raises the gauge to n if n exceeds the current value.
+func (g *Gauge) SetMax(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := atomic.LoadInt64(&g.v)
+		if n <= cur || atomic.CompareAndSwapInt64(&g.v, cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil Gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&g.v)
+}
+
+// Timer accumulates wall time and an invocation count for one phase.
+type Timer struct {
+	ns    int64
+	count int64
+}
+
+// Observe adds one measured duration.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	atomic.AddInt64(&t.ns, int64(d))
+	atomic.AddInt64(&t.count, 1)
+}
+
+// Start begins a measurement and returns the function that stops it. A nil
+// Timer returns a no-op stop without reading the clock.
+func (t *Timer) Start() func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.Observe(time.Since(start)) }
+}
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(atomic.LoadInt64(&t.ns))
+}
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&t.count)
+}
+
+// Registry holds named instruments. Instruments are created on first use and
+// live for the registry's lifetime; lookups after creation are read-locked.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		timers:   map[string]*Timer{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (inert) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named phase timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	t := r.timers[name]
+	r.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t = r.timers[name]; t == nil {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// TimerStat is one timer's exported state.
+type TimerStat struct {
+	Count   int64         `json:"count"`
+	Total   time.Duration `json:"total_ns"`
+	TotalMS float64       `json:"total_ms"`
+}
+
+// Snapshot is a point-in-time copy of every instrument, suitable for
+// rendering or serialization after the measured run completes.
+type Snapshot struct {
+	Counters map[string]int64     `json:"counters,omitempty"`
+	Gauges   map[string]int64     `json:"gauges,omitempty"`
+	Timers   map[string]TimerStat `json:"timers,omitempty"`
+}
+
+// Snapshot copies the current instrument values. A nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+		Timers:   map[string]TimerStat{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, t := range r.timers {
+		total := t.Total()
+		s.Timers[name] = TimerStat{
+			Count:   t.Count(),
+			Total:   total,
+			TotalMS: float64(total) / float64(time.Millisecond),
+		}
+	}
+	return s
+}
+
+// Text renders the snapshot as aligned, name-sorted sections.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	b.WriteString("telemetry snapshot\n")
+	width := 0
+	for _, m := range []map[string]int64{s.Counters, s.Gauges} {
+		for name := range m {
+			if len(name) > width {
+				width = len(name)
+			}
+		}
+	}
+	for name := range s.Timers {
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	section := func(title string, m map[string]int64) {
+		if len(m) == 0 {
+			return
+		}
+		b.WriteString(title + ":\n")
+		for _, name := range sortedKeys(m) {
+			fmt.Fprintf(&b, "  %-*s %12d\n", width, name, m[name])
+		}
+	}
+	section("counters", s.Counters)
+	section("gauges", s.Gauges)
+	if len(s.Timers) > 0 {
+		b.WriteString("timers:\n")
+		names := make([]string, 0, len(s.Timers))
+		for name := range s.Timers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			t := s.Timers[name]
+			fmt.Fprintf(&b, "  %-*s %12.3fms over %d call(s)\n", width, name, t.TotalMS, t.Count)
+		}
+	}
+	return b.String()
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentWriters hammers one registry from many goroutines and checks
+// the exact totals: instruments must be safe for concurrent use and lose no
+// updates (run under -race in `make race`).
+func TestConcurrentWriters(t *testing.T) {
+	r := New()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("c").Inc()
+				r.Counter("c2").Add(2)
+				r.Gauge("g").SetMax(int64(w*perWorker + i))
+				r.Timer("t").Observe(time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != workers*perWorker {
+		t.Errorf("counter c = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Counter("c2").Value(); got != 2*workers*perWorker {
+		t.Errorf("counter c2 = %d, want %d", got, 2*workers*perWorker)
+	}
+	if got := r.Gauge("g").Value(); got != workers*perWorker-1 {
+		t.Errorf("gauge g = %d, want %d", got, workers*perWorker-1)
+	}
+	if got := r.Timer("t").Count(); got != workers*perWorker {
+		t.Errorf("timer t count = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Timer("t").Total(); got < workers*perWorker*time.Microsecond {
+		t.Errorf("timer t total = %v, too small", got)
+	}
+}
+
+// TestRegistryInterning verifies repeated lookups return the same
+// instrument.
+func TestRegistryInterning(t *testing.T) {
+	r := New()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("Counter not interned")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Error("Gauge not interned")
+	}
+	if r.Timer("x") != r.Timer("x") {
+		t.Error("Timer not interned")
+	}
+}
+
+// TestNilSafety checks the nil-registry contract: a nil *Registry hands out
+// nil instruments whose methods are all no-ops, so instrumented code needs
+// no conditionals.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Counter("c").Add(5)
+	if r.Counter("c").Value() != 0 {
+		t.Error("nil counter should read 0")
+	}
+	r.Gauge("g").Set(7)
+	r.Gauge("g").SetMax(9)
+	if r.Gauge("g").Value() != 0 {
+		t.Error("nil gauge should read 0")
+	}
+	r.Timer("t").Observe(time.Second)
+	stop := r.Timer("t").Start()
+	stop()
+	if r.Timer("t").Count() != 0 || r.Timer("t").Total() != 0 {
+		t.Error("nil timer should read 0")
+	}
+}
+
+// TestSnapshotText checks the text exporter's shape and sorting.
+func TestSnapshotText(t *testing.T) {
+	r := New()
+	r.Counter("b/second").Add(2)
+	r.Counter("a/first").Add(1)
+	r.Gauge("nodes").Set(42)
+	r.Timer("solve").Observe(1500 * time.Millisecond)
+	text := r.Snapshot().Text()
+	for _, want := range []string{
+		"telemetry snapshot",
+		"counters:", "a/first", "b/second",
+		"gauges:", "nodes",
+		"timers:", "solve",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text() missing %q in:\n%s", want, text)
+		}
+	}
+	if strings.Index(text, "a/first") > strings.Index(text, "b/second") {
+		t.Error("counters not sorted")
+	}
+}
+
+// TestSnapshotJSON round-trips the JSON exporter.
+func TestSnapshotJSON(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(3)
+	r.Timer("t").Observe(2 * time.Second)
+	data, err := r.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["c"] != 3 {
+		t.Errorf("counter c = %d, want 3", snap.Counters["c"])
+	}
+	if ts := snap.Timers["t"]; ts.Count != 1 || ts.TotalMS < 1999 {
+		t.Errorf("timer t = %+v, want count 1, ~2000ms", ts)
+	}
+	if _, err := (&Registry{}).Snapshot().JSON(); err != nil {
+		t.Errorf("empty snapshot JSON: %v", err)
+	}
+}
+
+// TestTimerStart checks the closure form accumulates elapsed time.
+func TestTimerStart(t *testing.T) {
+	r := New()
+	stop := r.Timer("t").Start()
+	time.Sleep(time.Millisecond)
+	stop()
+	if r.Timer("t").Count() != 1 {
+		t.Errorf("count = %d, want 1", r.Timer("t").Count())
+	}
+	if r.Timer("t").Total() < time.Millisecond {
+		t.Errorf("total = %v, want >= 1ms", r.Timer("t").Total())
+	}
+}
