@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench check
+.PHONY: all build test race vet bench bench-json fuzz-smoke check
 
 all: check
 
@@ -27,5 +27,17 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
+## bench-json: solver-core delta ablation, exported machine-readable to
+## BENCH_solver.json (ns/op, allocs/op, and propagated-bit counts per
+## workload and propagation mode)
+bench-json:
+	BENCH_JSON=BENCH_solver.json $(GO) test -run '^TestWriteBenchJSON$$' -v .
+
+## fuzz-smoke: ~10s native-fuzz sanity pass over the model-based bitset
+## fuzzer and the solver-equivalence fuzzer
+fuzz-smoke:
+	$(GO) test ./internal/bitset -run '^$$' -fuzz '^FuzzBitsetModel$$' -fuzztime 5s
+	$(GO) test ./internal/pointsto -run '^$$' -fuzz '^FuzzSolverEquivalence$$' -fuzztime 5s
+
 ## check: everything a PR must pass
-check: build vet test race
+check: build vet test race fuzz-smoke

@@ -1,0 +1,103 @@
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/invariant"
+	"repro/internal/pointsto"
+	"repro/internal/workload"
+)
+
+// solverBenchRow is one (workload, propagation mode) measurement in the
+// machine-readable solver benchmark export.
+type solverBenchRow struct {
+	App            string  `json:"app"`
+	Mode           string  `json:"mode"` // "delta" or "full"
+	NsPerOp        int64   `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	BitsPropagated int     `json:"bits_propagated"`
+	BitsAvoided    int     `json:"bits_avoided"`
+	DeltaFlushes   int     `json:"delta_flushes"`
+	WorklistPops   int     `json:"worklist_pops"`
+	SpeedupVsFull  float64 `json:"speedup_vs_full,omitempty"`
+}
+
+// TestWriteBenchJSON runs the solver-core delta ablation under
+// testing.Benchmark and writes the results to the file named by the
+// BENCH_JSON environment variable (the `make bench-json` entry point; the
+// test is skipped when the variable is unset). Beyond exporting numbers, it
+// enforces the regression contract: difference propagation never consumes
+// more pointee bits than full re-propagation on any workload, and strictly
+// fewer in aggregate (a workload that converges in a single pass has nothing
+// to save — every set is consumed exactly once either way).
+func TestWriteBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		t.Skip("set BENCH_JSON=<file> to run the solver benchmark export")
+	}
+	var rows []solverBenchRow
+	var totalDelta, totalFull int
+	for _, app := range workload.Apps() {
+		m := app.MustModule()
+		perMode := map[string]*solverBenchRow{}
+		for _, mode := range []struct {
+			name  string
+			delta bool
+		}{{"delta", true}, {"full", false}} {
+			solve := func() pointsto.Stats {
+				a := pointsto.New(m, invariant.All())
+				a.SetDelta(mode.delta)
+				return a.Solve().Stats()
+			}
+			st := solve()
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					solve()
+				}
+			})
+			row := solverBenchRow{
+				App:            app.Name,
+				Mode:           mode.name,
+				NsPerOp:        res.NsPerOp(),
+				AllocsPerOp:    res.AllocsPerOp(),
+				BytesPerOp:     res.AllocedBytesPerOp(),
+				BitsPropagated: st.BitsPropagated,
+				BitsAvoided:    st.BitsAvoided,
+				DeltaFlushes:   st.DeltaFlushes,
+				WorklistPops:   st.Iterations,
+			}
+			perMode[mode.name] = &row
+			rows = append(rows, row)
+		}
+		d, f := perMode["delta"], perMode["full"]
+		if d.BitsPropagated > f.BitsPropagated {
+			t.Errorf("%s: delta propagated %d bits, full %d — delta must never be higher",
+				app.Name, d.BitsPropagated, f.BitsPropagated)
+		}
+		totalDelta += d.BitsPropagated
+		totalFull += f.BitsPropagated
+		// Annotate the delta row with the measured speedup; timing is
+		// reported, not asserted (CI machines are too noisy for a hard gate —
+		// the exported JSON is the reviewable record).
+		rows[len(rows)-2].SpeedupVsFull = float64(f.NsPerOp) / float64(d.NsPerOp)
+		t.Logf("%-10s delta %8d ns/op (%6d bits) | full %8d ns/op (%6d bits) | speedup %.2fx",
+			app.Name, d.NsPerOp, d.BitsPropagated, f.NsPerOp, f.BitsPropagated,
+			float64(f.NsPerOp)/float64(d.NsPerOp))
+	}
+	if totalDelta >= totalFull {
+		t.Errorf("aggregate: delta propagated %d bits, full %d — delta must be strictly lower",
+			totalDelta, totalFull)
+	}
+	buf, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d rows)", path, len(rows))
+}

@@ -198,6 +198,30 @@ func BenchmarkSolverStrategy(b *testing.B) {
 	})
 }
 
+// BenchmarkSolverDelta compares difference propagation (the default) against
+// full re-propagation on the solver core, per workload. Results are
+// identical (asserted by the differential oracle in internal/pointsto); the
+// delta variant propagates strictly fewer pointee bits, which bench-json
+// verifies from the solver statistics.
+func BenchmarkSolverDelta(b *testing.B) {
+	for _, app := range workload.Apps() {
+		m := app.MustModule()
+		for _, mode := range []struct {
+			name  string
+			delta bool
+		}{{"delta", true}, {"full", false}} {
+			b.Run(app.Name+"/"+mode.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					a := pointsto.New(m, invariant.All())
+					a.SetDelta(mode.delta)
+					a.Solve()
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkIncrementalRestore compares a full re-analysis against an
 // incremental Restore after one PA violation (the §8 trade-off).
 func BenchmarkIncrementalRestore(b *testing.B) {

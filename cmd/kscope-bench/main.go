@@ -89,68 +89,13 @@ func main() {
 	}
 	sess := experiments.NewSession(opt, *parallel, reg)
 
-	// The analysis-only artifacts share one AnalyzeAll pass.
-	var data []*experiments.AppData
-	needData := func() []*experiments.AppData {
-		if data == nil {
-			data = sess.AnalyzeAll()
-		}
-		return data
-	}
-
-	var out []string
-	for _, f := range figs {
-		if f == 1 {
-			out = append(out, sess.Figure1())
-		}
-	}
-	for _, t := range tables {
-		switch t {
-		case 2:
-			out = append(out, experiments.Table2())
-		case 3:
-			out = append(out, experiments.Table3(needData()))
-		case 4:
-			out = append(out, sess.Table4())
-		case 5:
-			out = append(out, sess.Table5())
-		default:
-			fmt.Fprintf(os.Stderr, "kscope-bench: no table %d\n", t)
-			os.Exit(2)
-		}
-	}
-	for _, f := range figs {
-		switch f {
-		case 1:
-			// already emitted first, matching the paper's order
-		case 10:
-			out = append(out, experiments.Figure10(needData()))
-		case 11:
-			out = append(out, experiments.Figure11(needData()))
-		case 12:
-			out = append(out, experiments.Figure12(needData()))
-		case 13:
-			out = append(out, sess.Figure13())
-		default:
-			fmt.Fprintf(os.Stderr, "kscope-bench: no figure %d\n", f)
-			os.Exit(2)
-		}
-	}
-	for _, e := range exts {
-		switch e {
-		case "debloat":
-			out = append(out, sess.ExtDebloat())
-		case "graded":
-			out = append(out, sess.ExtGraded())
-		case "incremental":
-			out = append(out, experiments.ExtIncremental())
-		default:
-			fmt.Fprintf(os.Stderr, "kscope-bench: no extension %q\n", e)
-			os.Exit(2)
-		}
+	out, err := renderArtifacts(sess, tables, figs, exts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kscope-bench: %v\n", err)
+		os.Exit(2)
 	}
 	if *csvDir != "" {
-		if err := experiments.WriteCSVs(*csvDir, needData()); err != nil {
+		if err := experiments.WriteCSVs(*csvDir, sess.AnalyzeAll()); err != nil {
 			fmt.Fprintf(os.Stderr, "kscope-bench: csv export: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+// renderArtifacts regenerates the requested tables, figures, and extension
+// experiments on one session, in the paper's order, and returns their texts.
+// Analysis-only artifacts share a single AnalyzeAll pass. An unknown table,
+// figure, or extension name is an error.
+func renderArtifacts(sess *experiments.Session, tables, figs []int, exts []string) ([]string, error) {
+	var data []*experiments.AppData
+	needData := func() []*experiments.AppData {
+		if data == nil {
+			data = sess.AnalyzeAll()
+		}
+		return data
+	}
+
+	var out []string
+	for _, f := range figs {
+		if f == 1 {
+			out = append(out, sess.Figure1())
+		}
+	}
+	for _, t := range tables {
+		switch t {
+		case 2:
+			out = append(out, experiments.Table2())
+		case 3:
+			out = append(out, experiments.Table3(needData()))
+		case 4:
+			out = append(out, sess.Table4())
+		case 5:
+			out = append(out, sess.Table5())
+		default:
+			return nil, fmt.Errorf("no table %d", t)
+		}
+	}
+	for _, f := range figs {
+		switch f {
+		case 1:
+			// already emitted first, matching the paper's order
+		case 10:
+			out = append(out, experiments.Figure10(needData()))
+		case 11:
+			out = append(out, experiments.Figure11(needData()))
+		case 12:
+			out = append(out, experiments.Figure12(needData()))
+		case 13:
+			out = append(out, sess.Figure13())
+		default:
+			return nil, fmt.Errorf("no figure %d", f)
+		}
+	}
+	for _, e := range exts {
+		switch e {
+		case "debloat":
+			out = append(out, sess.ExtDebloat())
+		case "graded":
+			out = append(out, sess.ExtGraded())
+		case "incremental":
+			out = append(out, experiments.ExtIncremental())
+		default:
+			return nil, fmt.Errorf("no extension %q", e)
+		}
+	}
+	return out, nil
+}

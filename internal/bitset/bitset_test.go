@@ -320,3 +320,162 @@ func BenchmarkUnionMapSet(b *testing.B) {
 		}
 	}
 }
+
+// InlineThreshold pin: the hybrid representation stays inline through
+// exactly InlineThreshold elements and promotes on the next Add. The
+// constant is part of the package's allocation contract (points-to sets are
+// overwhelmingly singletons/doubletons), so a change here must be deliberate.
+func TestInlinePromotionPoint(t *testing.T) {
+	if InlineThreshold != 4 {
+		t.Fatalf("InlineThreshold = %d, want 4 (update this pin deliberately)", InlineThreshold)
+	}
+	s := New(0)
+	if !s.inline() {
+		t.Fatal("New(0) should start inline")
+	}
+	for i := 0; i < InlineThreshold; i++ {
+		s.Add(i * 100)
+		if !s.inline() {
+			t.Fatalf("promoted at %d elements, below threshold", i+1)
+		}
+	}
+	s.Add(9999)
+	if s.inline() {
+		t.Fatal("no promotion past InlineThreshold elements")
+	}
+	want := []int{0, 100, 200, 300, 9999}
+	got := s.Elements()
+	if len(got) != len(want) {
+		t.Fatalf("Elements = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elements = %v, want %v", got, want)
+		}
+	}
+	// Removing back below the threshold must not demote (one-way promotion).
+	for _, x := range want[1:] {
+		s.Remove(x)
+	}
+	if s.inline() {
+		t.Fatal("vector demoted to inline after removals")
+	}
+	if s.Len() != 1 || !s.Has(0) {
+		t.Fatalf("post-removal state wrong: %v", s)
+	}
+}
+
+// New's positive hint selects the vector representation up front.
+func TestNewHintIsVector(t *testing.T) {
+	s := New(128)
+	if s.inline() {
+		t.Fatal("New(128) should be vector mode")
+	}
+	if len(s.words) != 2 {
+		t.Fatalf("New(128) allocated %d words, want 2", len(s.words))
+	}
+}
+
+// grow must not over-allocate past a single large outlier element: capacity
+// doubles from the current allocation, and a jump allocates exactly the
+// needed words (the old need+need/2 policy added 50% slack on top).
+func TestGrowNoOverAllocation(t *testing.T) {
+	s := New(64) // 1 word
+	s.Add(1_000_000)
+	need := 1_000_000/64 + 1
+	if len(s.words) != need {
+		t.Fatalf("outlier growth allocated %d words, want exactly %d", len(s.words), need)
+	}
+	// Incremental growth doubles from current capacity (amortized O(1)),
+	// honoring the capacity New's hint implied.
+	d := New(6400) // 100 words
+	d.Add(6400)
+	if len(d.words) != 200 {
+		t.Fatalf("incremental growth allocated %d words, want 200 (doubling)", len(d.words))
+	}
+}
+
+func TestUnionDelta(t *testing.T) {
+	check := func(t *testing.T, dst, src *Set, wantNew []int) {
+		t.Helper()
+		before := dst.Clone()
+		delta := New(0)
+		n := dst.UnionDelta(src, delta)
+		if n != len(wantNew) {
+			t.Fatalf("UnionDelta returned %d, want %d", n, len(wantNew))
+		}
+		if got := delta.Elements(); len(got) != len(wantNew) {
+			t.Fatalf("delta = %v, want %v", got, wantNew)
+		} else {
+			for i := range wantNew {
+				if got[i] != wantNew[i] {
+					t.Fatalf("delta = %v, want %v", got, wantNew)
+				}
+			}
+		}
+		// dst must now be the union.
+		u := before.Clone()
+		u.UnionWith(src)
+		if !dst.Equal(u) {
+			t.Fatalf("dst = %v, want %v", dst, u)
+		}
+		// Idempotence: a second UnionDelta adds nothing.
+		if again := dst.UnionDelta(src, New(0)); again != 0 {
+			t.Fatalf("repeated UnionDelta added %d bits", again)
+		}
+	}
+	mk := func(xs ...int) *Set {
+		s := New(0)
+		for _, x := range xs {
+			s.Add(x)
+		}
+		return s
+	}
+	big := func(xs ...int) *Set {
+		s := mk(xs...)
+		s.Add(70000) // force vector mode
+		s.Remove(70000)
+		return s
+	}
+	t.Run("inline-inline", func(t *testing.T) { check(t, mk(1, 2), mk(2, 3), []int{3}) })
+	t.Run("inline-vector", func(t *testing.T) { check(t, mk(1), big(1, 64, 500), []int{64, 500}) })
+	t.Run("vector-inline", func(t *testing.T) { check(t, big(5, 6), mk(6, 7), []int{7}) })
+	t.Run("vector-vector", func(t *testing.T) { check(t, big(0, 63, 64), big(63, 64, 65, 4096), []int{65, 4096}) })
+	t.Run("empty-src", func(t *testing.T) { check(t, mk(1), mk(), nil) })
+	t.Run("nil-src", func(t *testing.T) {
+		s := mk(1)
+		if n := s.UnionDelta(nil, New(0)); n != 0 {
+			t.Fatalf("UnionDelta(nil) = %d", n)
+		}
+	})
+	t.Run("nil-delta", func(t *testing.T) {
+		s := mk(1)
+		if n := s.UnionDelta(mk(2, 3), nil); n != 2 || s.Len() != 3 {
+			t.Fatalf("nil-delta UnionDelta: n=%d set=%v", n, s)
+		}
+	})
+}
+
+// Property: UnionDelta(t, delta) leaves s equal to UnionWith(t), with delta
+// holding exactly the new elements, across representation boundaries.
+func TestQuickUnionDeltaMatchesUnion(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b := New(0), New(0)
+		for _, x := range xs {
+			a.Add(int(x % 300))
+		}
+		for _, y := range ys {
+			b.Add(int(y % 300))
+		}
+		viaUnion := a.Clone()
+		viaUnion.UnionWith(b)
+		wantDelta := viaUnion.Clone()
+		wantDelta.DifferenceWith(a)
+		delta := New(0)
+		n := a.UnionDelta(b, delta)
+		return a.Equal(viaUnion) && delta.Equal(wantDelta) && n == wantDelta.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -121,7 +121,7 @@ func (a *Analysis) wireICallSite(caller string, c *ir.ICall) {
 	}
 	a.icallsAt[a.find(fptr)] = append(a.icallsAt[a.find(fptr)], site)
 	a.icallSites = append(a.icallSites, site)
-	a.push(fptr)
+	a.seedDelta(fptr)
 }
 
 // wireCtxCallsites rewires precision-critical stores and returns

@@ -74,6 +74,9 @@ type Stats struct {
 	Waves          int // wave-propagation rounds (wave strategy only)
 	PWCs           int // positive-weight cycles encountered
 	MonitorSites   int // runtime monitors implied by assumed invariants
+	DeltaFlushes   int // full-set flushes seeded by new edges / SCC merges / Restore
+	BitsPropagated int // pointee bits consumed by processNode visits
+	BitsAvoided    int // pointee bits a full re-propagation would have re-consumed
 }
 
 // GrowthEvent describes one points-to set update (§4.1 introspection).
@@ -111,6 +114,7 @@ type Analysis struct {
 	nodes   []node
 	rep     []int32
 	pts     []*bitset.Set
+	delta   []*bitset.Set // per-node pointees added since the node's last processing
 	objects []*Object
 
 	copyTo    [][]int32
@@ -150,6 +154,7 @@ type Analysis struct {
 	pwcDone    map[int]bool    // PWC field sites already restored to baseline
 	naive      bool            // skip copy-cycle collapse (ablation)
 	wave       bool            // use wave propagation instead of the plain worklist
+	noDelta    bool            // disable difference propagation (differential-oracle ablation)
 
 	stats   Stats
 	flushed Stats               // stats already exported to metrics
@@ -161,6 +166,15 @@ type Analysis struct {
 // This exists for the cycle-elimination ablation benchmark; results are
 // identical, only solve cost changes. Must be called before Solve.
 func (a *Analysis) SetNaive(naive bool) { a.naive = naive }
+
+// SetDelta toggles difference (delta) propagation. It is on by default:
+// every node tracks the pointees added since its last processing, and
+// constraint processing consumes only that delta, with new edges, SCC
+// merges, and incremental Restores seeding full-set flushes. Disabling it
+// reverts to full re-propagation on every visit — results are identical
+// (asserted by the differential oracle tests); only solve cost changes.
+// Must be called before Solve.
+func (a *Analysis) SetDelta(on bool) { a.noDelta = !on }
 
 // New builds the constraint graph for m under cfg. Call Solve to run the
 // analysis.
@@ -235,6 +249,30 @@ func (a *Analysis) ptsOf(n int) *bitset.Set {
 	return a.pts[n]
 }
 
+// deltaOf returns the pending-delta set of representative node n, allocating
+// it on first use. Callers must resolve n to its representative first.
+func (a *Analysis) deltaOf(n int) *bitset.Set {
+	if a.delta[n] == nil {
+		a.delta[n] = bitset.New(0)
+	}
+	return a.delta[n]
+}
+
+// seedDelta schedules a full-set flush of n: the node's entire points-to set
+// re-enters its delta, so the next processing pushes everything through the
+// node's constraints. Required whenever a constraint gains visibility it did
+// not have while past bits flowed — a new gep/load/store/arith/icall edge,
+// an SCC merge (the survivor inherits edges that never saw its set), or an
+// incremental Restore re-admitting constraints.
+func (a *Analysis) seedDelta(n int) {
+	n = a.find(n)
+	if !a.noDelta && a.pts[n] != nil && !a.pts[n].Empty() {
+		a.deltaOf(n).UnionWith(a.pts[n])
+		a.stats.DeltaFlushes++
+	}
+	a.push(n)
+}
+
 // typeCount returns the number of distinct object types currently in
 // pts(n). Introspection-only (O(set) per call).
 func (a *Analysis) typeCount(n int) int {
@@ -296,11 +334,15 @@ func (a *Analysis) emitGrowth(n, added, site, obj int, derived bool) {
 }
 
 // addToPts inserts object-slot node o into pts(n), recording provenance and
-// growth events, and enqueues n on change.
+// growth events, and enqueues n on change. New pointees also enter the
+// node's delta so the next processing propagates exactly them.
 func (a *Analysis) addToPts(n, o, site, srcNode int, derived bool) bool {
 	n = a.find(n)
 	if !a.ptsOf(n).Add(o) {
 		return false
+	}
+	if !a.noDelta {
+		a.deltaOf(n).Add(o)
 	}
 	if a.traceProv {
 		k := provKey{int32(n), int32(o)}
@@ -315,23 +357,37 @@ func (a *Analysis) addToPts(n, o, site, srcNode int, derived bool) bool {
 	return true
 }
 
-// unionPts merges pts(src) into pts(dst) (used by copy propagation),
-// recording provenance per added object when tracing.
+// unionPts merges pts(src) into pts(dst) (used by copy propagation when an
+// edge is first created and must see the source's full set).
 func (a *Analysis) unionPts(dst, src, site int, derived bool) bool {
-	dst, src = a.find(dst), a.find(src)
-	if dst == src || a.pts[src] == nil || a.pts[src].Empty() {
+	src = a.find(src)
+	return a.unionSetInto(dst, a.pts[src], src, site, derived)
+}
+
+// unionSetInto merges an explicit pointee set into pts(dst), recording the
+// newly-added bits in dst's delta (one pass via bitset.UnionDelta), plus
+// provenance per added object when tracing. srcNode is the node the set
+// flowed from (for self-copy suppression and provenance). This is the copy
+// propagation primitive: full-set unions pass pts(src); difference
+// propagation passes only src's consumed delta.
+func (a *Analysis) unionSetInto(dst int, set *bitset.Set, srcNode, site int, derived bool) bool {
+	dst = a.find(dst)
+	if dst == srcNode || set == nil || set.Empty() {
 		return false
 	}
 	d := a.ptsOf(dst)
 	if a.traceProv {
 		added, last := 0, -1
-		a.pts[src].ForEach(func(o int) bool {
+		set.ForEach(func(o int) bool {
 			if d.Add(o) {
+				if !a.noDelta {
+					a.deltaOf(dst).Add(o)
+				}
 				added++
 				last = o
 				k := provKey{int32(dst), int32(o)}
 				if es := a.provs[k]; len(es) < 5 {
-					a.provs[k] = append(es, provEntry{site: int32(site), srcNode: int32(src)})
+					a.provs[k] = append(es, provEntry{site: int32(site), srcNode: int32(srcNode)})
 				}
 			}
 			return true
@@ -345,12 +401,16 @@ func (a *Analysis) unionPts(dst, src, site int, derived bool) bool {
 		a.push(dst)
 		return true
 	}
-	before := d.Len()
-	if !d.UnionWith(a.pts[src]) {
+	var into *bitset.Set
+	if !a.noDelta {
+		into = a.deltaOf(dst)
+	}
+	added := d.UnionDelta(set, into)
+	if added == 0 {
 		return false
 	}
 	if a.tracer != nil {
-		a.emitGrowth(dst, d.Len()-before, site, -1, derived)
+		a.emitGrowth(dst, added, site, -1, derived)
 	}
 	a.push(dst)
 	return true
@@ -380,36 +440,43 @@ func (a *Analysis) addCopy(from, to, site, trigger int, derived bool) {
 	a.unionPts(to, from, site, derived)
 }
 
-// addGep inserts a Field-Of edge.
+// addGep inserts a Field-Of edge. The new edge has seen none of pts(from),
+// so the node's full set is flushed back into its delta.
 func (a *Analysis) addGep(from, to, off, site int) {
 	from = a.find(from)
 	a.gepTo[from] = append(a.gepTo[from], &gepEdge{to: int32(to), off: int32(off), site: int32(site)})
-	a.push(from)
+	a.seedDelta(from)
 }
 
-// addLoad registers the Load constraint dest = *addr.
+// addLoad registers the Load constraint dest = *addr, flushing addr's set.
 func (a *Analysis) addLoad(addr, dest, site int) {
 	addr = a.find(addr)
 	a.loadTo[addr] = append(a.loadTo[addr], depEdge{other: int32(dest), site: int32(site)})
-	a.push(addr)
+	a.seedDelta(addr)
 }
 
-// addStore registers the Store constraint *addr = src.
+// addStore registers the Store constraint *addr = src, flushing addr's set.
 func (a *Analysis) addStore(addr, src, site int) {
 	addr = a.find(addr)
 	a.storeFrom[addr] = append(a.storeFrom[addr], depEdge{other: int32(src), site: int32(site)})
-	a.push(addr)
+	a.seedDelta(addr)
 }
 
-// addArith registers the PtrAdd flow dest = base + unknown.
+// addArith registers the PtrAdd flow dest = base + unknown, flushing base's
+// set.
 func (a *Analysis) addArith(base, dest, site int) {
 	base = a.find(base)
 	a.arithTo[base] = append(a.arithTo[base], arithEdge{to: int32(dest), site: int32(site)})
-	a.push(base)
+	a.seedDelta(base)
 }
 
 // union merges node b into node a (both resolved to reps), combining
-// points-to sets and adjacency, and reschedules the survivor.
+// points-to sets and adjacency, and reschedules the survivor. The survivor's
+// delta is re-seeded with the merged full set: x's old edges never saw
+// pts(y), y's old edges never saw pts(x), and after the merge both edge
+// lists face the combined set, so per-edge bookkeeping would be needed to
+// flush anything less. Merges are rare relative to propagation, so the
+// full flush is the right trade.
 func (a *Analysis) union(x, y int) {
 	x, y = a.find(x), a.find(y)
 	if x == y {
@@ -421,6 +488,7 @@ func (a *Analysis) union(x, y int) {
 		a.ptsOf(x).UnionWith(a.pts[y])
 		a.pts[y] = nil
 	}
+	a.delta[y] = nil
 	a.copyTo[x] = append(a.copyTo[x], a.copyTo[y]...)
 	a.copyTo[y] = nil
 	a.gepTo[x] = append(a.gepTo[x], a.gepTo[y]...)
@@ -433,5 +501,5 @@ func (a *Analysis) union(x, y int) {
 	a.arithTo[y] = nil
 	a.icallsAt[x] = append(a.icallsAt[x], a.icallsAt[y]...)
 	a.icallsAt[y] = nil
-	a.push(x)
+	a.seedDelta(x)
 }

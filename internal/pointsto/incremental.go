@@ -31,11 +31,12 @@ func (r *Result) Restore(rec invariant.Record) error {
 		}
 		a.paDisabled[rec.Site] = true
 		// Reprocess every PtrAdd base feeding this site: the previously
-		// filtered struct objects now flow through with baseline handling.
+		// filtered struct objects now flow through with baseline handling,
+		// so the base's full set is flushed back into its delta.
 		for n := range a.arithTo {
 			for _, e := range a.arithTo[n] {
 				if int(e.site) == rec.Site {
-					a.push(n)
+					a.seedDelta(n)
 				}
 			}
 		}
@@ -76,7 +77,8 @@ func (r *Result) Restore(rec invariant.Record) error {
 					}
 				}
 			}
-			a.push(n)
+			// The re-collapsed Field-Of edges must re-see the full set.
+			a.seedDelta(n)
 		}
 	case invariant.Ctx:
 		in := a.mod.InstrByID(rec.Site)

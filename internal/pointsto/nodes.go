@@ -128,6 +128,7 @@ func (a *Analysis) newNode(n node) int {
 	a.nodes = append(a.nodes, n)
 	a.rep = append(a.rep, int32(id))
 	a.pts = append(a.pts, nil)
+	a.delta = append(a.delta, nil)
 	a.copyTo = append(a.copyTo, nil)
 	a.gepTo = append(a.gepTo, nil)
 	a.loadTo = append(a.loadTo, nil)
@@ -235,5 +236,31 @@ func (a *Analysis) makeFieldInsensitive(o *Object) {
 	base := o.NodeBase
 	for s := 1; s < o.Size; s++ {
 		a.union(base, base+s)
+	}
+	a.reseedSlotHolders(o)
+}
+
+// reseedSlotHolders reschedules every node whose points-to set already holds
+// a slot of o. Collapsing changes how those pointees resolve — fieldTarget
+// now maps every slot to the base, and the slot reps were just merged — so
+// constraints that consumed them before the collapse must re-derive through
+// the new resolution. Collapses are rare (FieldCollapses stat), so the full
+// node scan is the right trade; without it, the post-collapse fixed point
+// depends on the iteration strategy (wave revisits every node and heals,
+// the worklist does not).
+func (a *Analysis) reseedSlotHolders(o *Object) {
+	if o.Size <= 1 {
+		return
+	}
+	for n := range a.nodes {
+		if a.find(n) != n || a.pts[n] == nil {
+			continue
+		}
+		for s := 0; s < o.Size; s++ {
+			if a.pts[n].Has(o.NodeBase + s) {
+				a.seedDelta(n)
+				break
+			}
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/bitset"
 	"repro/internal/invariant"
 	"repro/internal/ir"
 )
@@ -83,6 +84,9 @@ func (a *Analysis) flushMetrics() {
 	m.Counter("pointsto/pwc/cycles").Add(int64(d.PWCs - prev.PWCs))
 	m.Counter("pointsto/field/collapses").Add(int64(d.FieldCollapses - prev.FieldCollapses))
 	m.Counter("pointsto/wave/rounds").Add(int64(d.Waves - prev.Waves))
+	m.Counter("pointsto/delta/flushes").Add(int64(d.DeltaFlushes - prev.DeltaFlushes))
+	m.Counter("pointsto/delta/bits-propagated").Add(int64(d.BitsPropagated - prev.BitsPropagated))
+	m.Counter("pointsto/delta/full-bits-avoided").Add(int64(d.BitsAvoided - prev.BitsAvoided))
 	m.Gauge("pointsto/graph/nodes").SetMax(int64(len(a.nodes)))
 	m.Gauge("pointsto/graph/objects").SetMax(int64(len(a.objects)))
 }
@@ -101,54 +105,75 @@ func (a *Analysis) drain() {
 	}
 }
 
-// processNode applies every outgoing constraint of n to its current
-// points-to set.
+// processNode applies every outgoing constraint of n to its pending pointee
+// delta — the set of pointees added since n was last processed (the full set
+// on the node's first visit, or after a seedDelta flush). Disabling delta
+// propagation (SetDelta(false)) re-consumes the full set on every visit; the
+// results are identical because every constraint here is monotone and
+// idempotent per pointee, so re-deriving from old pointees only re-adds
+// facts that are already present.
 func (a *Analysis) processNode(n int) {
 	a.stats.Iterations++
 	a.ensureWL()
-	var elems []int
-	if a.pts[n] != nil {
-		elems = a.pts[n].Elements()
+	var work *bitset.Set
+	if a.noDelta {
+		work = a.pts[n]
+		if work != nil {
+			a.stats.BitsPropagated += work.Len()
+		}
+	} else {
+		work = a.delta[n]
+		a.delta[n] = nil
+		if work != nil {
+			a.stats.BitsPropagated += work.Len()
+			if a.pts[n] != nil {
+				a.stats.BitsAvoided += a.pts[n].Len() - work.Len()
+			}
+		}
 	}
-	if len(elems) > 0 {
-		for _, e := range a.gepTo[n] {
-			to := a.find(int(e.to))
-			for _, o := range elems {
-				if e.collapse {
-					if obj := a.objOfNode(o); obj != nil && !obj.Insens {
-						a.makeFieldInsensitive(obj)
-					}
-				}
-				if t := a.fieldTarget(o, int(e.off)); t >= 0 {
-					a.addToPts(to, t, int(e.site), n, true)
+	if work == nil || work.Empty() {
+		// Nothing pending: every edge has already consumed the node's full
+		// set (new edges seed a flush before pushing the node here).
+		return
+	}
+	elems := work.Elements()
+	for _, e := range a.gepTo[n] {
+		to := a.find(int(e.to))
+		for _, o := range elems {
+			if e.collapse {
+				if obj := a.objOfNode(o); obj != nil && !obj.Insens {
+					a.makeFieldInsensitive(obj)
 				}
 			}
-		}
-		for _, e := range a.loadTo[n] {
-			for _, o := range elems {
-				if a.nodes[o].kind != nodeObj {
-					continue
-				}
-				a.addCopy(a.find(o), int(e.other), int(e.site), n, true)
+			if t := a.fieldTarget(o, int(e.off)); t >= 0 {
+				a.addToPts(to, t, int(e.site), n, true)
 			}
 		}
-		for _, e := range a.storeFrom[n] {
-			for _, o := range elems {
-				if a.nodes[o].kind != nodeObj {
-					continue
-				}
-				a.addCopy(int(e.other), a.find(o), int(e.site), n, true)
+	}
+	for _, e := range a.loadTo[n] {
+		for _, o := range elems {
+			if a.nodes[o].kind != nodeObj {
+				continue
 			}
+			a.addCopy(a.find(o), int(e.other), int(e.site), n, true)
 		}
-		for _, e := range a.arithTo[n] {
-			a.processArith(n, e, elems)
+	}
+	for _, e := range a.storeFrom[n] {
+		for _, o := range elems {
+			if a.nodes[o].kind != nodeObj {
+				continue
+			}
+			a.addCopy(int(e.other), a.find(o), int(e.site), n, true)
 		}
-		for _, s := range a.icallsAt[n] {
-			a.connectICall(n, s, elems)
-		}
+	}
+	for _, e := range a.arithTo[n] {
+		a.processArith(n, e, elems)
+	}
+	for _, s := range a.icallsAt[n] {
+		a.connectICall(n, s, elems)
 	}
 	for _, to := range a.copyTo[n] {
-		a.unionPts(int(to), n, 0, false)
+		a.unionSetInto(int(to), work, n, 0, false)
 	}
 }
 

@@ -24,7 +24,9 @@ func (a *Analysis) solveWave() {
 		order := a.topoOrder()
 		// One wave: process every node in topological order. processNode
 		// pushes downstream nodes; because we visit in topo order, most of
-		// those pushes are handled later in the same wave.
+		// those pushes are handled later in the same wave. Under delta
+		// propagation a node with nothing pending is a constant-time visit,
+		// so later waves only pay for sets that actually grew.
 		for _, n := range order {
 			if a.find(n) != n {
 				continue
