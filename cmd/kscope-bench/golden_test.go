@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files with current output")
@@ -20,10 +21,11 @@ var goldenOpt = experiments.Options{Requests: 40, PerfRequests: 200, Runs: 2, Fu
 // renderDeterministic renders every deterministic artifact the CLI can emit,
 // exactly as `kscope-bench -all` would order them. Figure 13 is deliberately
 // absent: its cells are wall-clock throughput and differ between any two
-// runs, serial or not.
-func renderDeterministic(t *testing.T, parallel int) string {
+// runs, serial or not. reg may be nil (telemetry off) — the rendered bytes
+// must not depend on it either way.
+func renderDeterministic(t *testing.T, parallel int, reg *telemetry.Registry) string {
 	t.Helper()
-	sess := experiments.NewSession(goldenOpt, parallel, nil)
+	sess := experiments.NewSession(goldenOpt, parallel, reg)
 	out, err := renderArtifacts(sess,
 		[]int{2, 3, 4, 5},
 		[]int{1, 10, 11, 12},
@@ -46,7 +48,7 @@ func TestGoldenOutput(t *testing.T) {
 		t.Skip("full evaluation matrix")
 	}
 	golden := filepath.Join("testdata", "golden", "artifacts.txt")
-	ref := renderDeterministic(t, 1)
+	ref := renderDeterministic(t, 1, nil)
 	if *update {
 		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
 			t.Fatal(err)
@@ -64,8 +66,19 @@ func TestGoldenOutput(t *testing.T) {
 			golden, firstDiff(string(want), ref))
 	}
 	for _, p := range []int{4, 8} {
-		if got := renderDeterministic(t, p); got != ref {
+		if got := renderDeterministic(t, p, nil); got != ref {
 			t.Errorf("-parallel %d output diverges from -parallel 1:\n%s", p, firstDiff(ref, got))
+		}
+	}
+	// Tracing must be a pure observer: with a live registry collecting spans
+	// and histograms the artifacts stay byte-identical at every pool width.
+	for _, p := range []int{1, 4, 8} {
+		reg := telemetry.New()
+		if got := renderDeterministic(t, p, reg); got != ref {
+			t.Errorf("-parallel %d output with tracing on diverges from baseline:\n%s", p, firstDiff(ref, got))
+		}
+		if len(reg.Snapshot().Spans) == 0 {
+			t.Errorf("-parallel %d traced render recorded no spans", p)
 		}
 	}
 }

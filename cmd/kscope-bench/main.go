@@ -6,28 +6,47 @@
 //	kscope-bench -all
 //	kscope-bench -table 3 -fig 11 -fig 13
 //	kscope-bench -table 5 -fuzz 1000
+//	kscope-bench -all -trace trace.json -metrics-json run.json
+//	kscope-bench -all -compare-metrics baseline.json -regress-threshold 0.1
 //
 // Flags:
 //
-//	-all           regenerate everything
-//	-table N       regenerate table N (2, 3, 4, 5); repeatable
-//	-fig N         regenerate figure N (1, 10, 11, 12, 13); repeatable
-//	-requests N    requests per benchmark run (default 200)
-//	-runs N        repetitions for throughput (default 3)
-//	-fuzz N        fuzzing executions per application (default 400)
-//	-seed N        base RNG seed (default 1)
-//	-parallel N    worker-pool width (0 = GOMAXPROCS, 1 = serial)
-//	-metrics       print a solver/interpreter telemetry snapshot on stderr
+//	-all               regenerate everything
+//	-table N           regenerate table N (2, 3, 4, 5); repeatable
+//	-fig N             regenerate figure N (1, 10, 11, 12, 13); repeatable
+//	-requests N        requests per benchmark run (default 200)
+//	-runs N            repetitions for throughput (default 3)
+//	-fuzz N            fuzzing executions per application (default 400)
+//	-seed N            base RNG seed (default 1)
+//	-parallel N        worker-pool width (0 = GOMAXPROCS, 1 = serial)
+//	-metrics           print a solver/interpreter telemetry snapshot on stderr
+//	-metrics-json F    write the telemetry snapshot as JSON to F
+//	-trace F           write a Chrome trace-event JSON span trace to F
+//	                   (open in Perfetto or chrome://tracing)
+//	-compare-metrics F load a prior -metrics-json export and print per-
+//	                   instrument deltas; exit 1 if a watched instrument
+//	                   regresses past -regress-threshold
+//	-watch NAME        instrument to regression-check (repeatable; default
+//	                   pointsto/worklist/pops, pointsto/delta/bits-propagated)
+//	-regress-threshold fraction of allowed growth for watched instruments
+//	                   (default 0.10)
+//	-watchdog D        report a stall diagnosis on stderr if the solver makes
+//	                   no progress for duration D (0 = off)
+//	-cpuprofile F      write a runtime/pprof CPU profile to F
+//	-memprofile F      write a runtime/pprof heap profile to F
 //
-// Output is byte-identical for every -parallel value (Figure 13's wall-clock
-// throughput numbers are the only run-to-run variation, and they vary at
-// -parallel 1 too).
+// All telemetry goes to stderr or to files; stdout carries only the rendered
+// artifacts, which stay byte-identical for every -parallel value and with
+// telemetry on or off (Figure 13's wall-clock throughput numbers are the
+// only run-to-run variation, and they vary at -parallel 1 too).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -49,7 +68,15 @@ func (l *intList) Set(s string) error {
 	return nil
 }
 
-func main() {
+// defaultWatch is the regression watch list when no -watch flag is given:
+// the two counters that track total solver effort.
+var defaultWatch = []string{"pointsto/worklist/pops", "pointsto/delta/bits-propagated"}
+
+func main() { os.Exit(run()) }
+
+// run is main with an exit code, so deferred profile/telemetry writers
+// execute before the process exits.
+func run() int {
 	var tables, figs intList
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	requests := flag.Int("requests", 0, "requests per benchmark run")
@@ -59,10 +86,18 @@ func main() {
 	csvDir := flag.String("csv", "", "also export points-to sets and CFI policies as CSV into this directory")
 	parallel := flag.Int("parallel", 1, "worker-pool width (0 = GOMAXPROCS)")
 	metrics := flag.Bool("metrics", false, "print a telemetry snapshot on stderr after the run")
-	var exts stringList
+	metricsJSON := flag.String("metrics-json", "", "write the telemetry snapshot as JSON to this file")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the pipeline spans")
+	comparePath := flag.String("compare-metrics", "", "compare this run against a prior -metrics-json export")
+	threshold := flag.Float64("regress-threshold", 0.10, "allowed fractional growth of watched instruments")
+	watchdog := flag.Duration("watchdog", 0, "stall-report window for the solver progress watchdog (0 = off)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	var exts, watch stringList
 	flag.Var(&tables, "table", "table number to regenerate (repeatable)")
 	flag.Var(&figs, "fig", "figure number to regenerate (repeatable)")
 	flag.Var(&exts, "ext", "extension experiment: debloat, graded (repeatable)")
+	flag.Var(&watch, "watch", "instrument name to regression-check (repeatable)")
 	flag.Parse()
 
 	opt := experiments.Options{
@@ -78,33 +113,98 @@ func main() {
 	}
 	if len(tables) == 0 && len(figs) == 0 && len(exts) == 0 && *csvDir == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kscope-bench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "kscope-bench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	// One session for the whole run: all artifacts share its worker pool and
 	// its per-(app, config) analysis cache, and report into one registry.
+	// Any telemetry consumer (snapshot, trace, comparison, watchdog) needs
+	// the registry attached; with none requested it stays nil and the whole
+	// pipeline runs instrumentation-free.
 	var reg *telemetry.Registry
-	if *metrics {
+	if *metrics || *metricsJSON != "" || *tracePath != "" || *comparePath != "" || *watchdog > 0 {
 		reg = telemetry.New()
+	}
+	if *watchdog > 0 {
+		wd := telemetry.NewWatchdog(reg, *watchdog/8, *watchdog,
+			[]string{"pointsto/progress/pops", "interp/runs", "runner/job-latency-ns"},
+			func(s telemetry.Stall) { fmt.Fprint(os.Stderr, s.Text()) })
+		defer wd.Stop()
 	}
 	sess := experiments.NewSession(opt, *parallel, reg)
 
 	out, err := renderArtifacts(sess, tables, figs, exts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kscope-bench: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	if *csvDir != "" {
 		if err := experiments.WriteCSVs(*csvDir, sess.AnalyzeAll()); err != nil {
 			fmt.Fprintf(os.Stderr, "kscope-bench: csv export: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("CSV results written to %s\n", *csvDir)
 	}
 	fmt.Println(strings.Join(out, "\n"))
-	if reg != nil {
-		fmt.Fprint(os.Stderr, reg.Snapshot().Text())
+
+	if *memprofile != "" {
+		if err := writeHeapProfile(*memprofile); err != nil {
+			fmt.Fprintf(os.Stderr, "kscope-bench: memprofile: %v\n", err)
+			return 1
+		}
 	}
+	if reg == nil {
+		return 0
+	}
+	snap := reg.Snapshot()
+	if *metrics {
+		fmt.Fprint(os.Stderr, snap.Text())
+	}
+	if err := exportSnapshot(snap, *metricsJSON, *tracePath); err != nil {
+		fmt.Fprintf(os.Stderr, "kscope-bench: %v\n", err)
+		return 1
+	}
+	if *comparePath != "" {
+		watchList := []string(watch)
+		if len(watchList) == 0 {
+			watchList = defaultWatch
+		}
+		regressed, err := compareAgainst(snap, *comparePath, watchList, *threshold, os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kscope-bench: compare-metrics: %v\n", err)
+			return 1
+		}
+		if regressed {
+			return 1
+		}
+	}
+	return 0
+}
+
+// writeHeapProfile GCs (for up-to-date allocation stats) and writes the
+// heap profile.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 // stringList collects repeatable string flags.

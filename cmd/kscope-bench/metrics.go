@@ -1,0 +1,56 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+// exportSnapshot writes the telemetry snapshot to its file sinks: the full
+// snapshot as indented JSON to jsonPath, and the span log as a Chrome
+// trace-event file to tracePath. Empty paths are skipped. Nothing is ever
+// written to stdout — the golden-output contract reserves stdout for the
+// rendered artifacts.
+func exportSnapshot(snap telemetry.Snapshot, jsonPath, tracePath string) error {
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return fmt.Errorf("metrics-json: %w", err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("metrics-json: %w", err)
+		}
+	}
+	if tracePath != "" {
+		data, err := snap.ChromeTrace()
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := os.WriteFile(tracePath, data, 0o644); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// compareAgainst loads a baseline snapshot previously written by
+// -metrics-json, diffs the current snapshot against it, and prints the
+// per-instrument report to w. It reports whether any watched instrument
+// regressed past the threshold (the caller turns that into a non-zero
+// exit).
+func compareAgainst(cur telemetry.Snapshot, baselinePath string, watch []string, threshold float64, w io.Writer) (regressed bool, err error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	var old telemetry.Snapshot
+	if err := json.Unmarshal(data, &old); err != nil {
+		return false, fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	cmp := telemetry.CompareSnapshots(old, cur, watch, threshold)
+	fmt.Fprint(w, cmp.Text())
+	return len(cmp.Regressions()) > 0, nil
+}

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/telemetry"
+)
+
+// smallOpt keeps the traced sessions in this file fast; the pipeline still
+// runs every phase (analysis, hardening, interpretation).
+var smallOpt = experiments.Options{Requests: 4, PerfRequests: 8, Runs: 1, FuzzIters: 4, Seed: 1}
+
+// tracedSnapshot runs a small instrumented session covering both an
+// analysis-driven artifact (Table 3 via AnalyzeAll) and an execution-driven
+// one (Table 4), and returns the resulting snapshot.
+func tracedSnapshot(t *testing.T) telemetry.Snapshot {
+	t.Helper()
+	reg := telemetry.New()
+	sess := experiments.NewSession(smallOpt, 4, reg)
+	if _, err := renderArtifacts(sess, []int{3, 4}, nil, nil); err != nil {
+		t.Fatalf("renderArtifacts: %v", err)
+	}
+	return reg.Snapshot()
+}
+
+// TestMetricsExportStdoutSilent pins the output contract of the telemetry
+// sinks: -metrics-json, -trace, and -compare-metrics write to their files
+// and to the given writer (stderr in the CLI), never to stdout. Stdout is
+// reserved for artifacts, so the golden-output byte-identity holds with
+// telemetry on.
+func TestMetricsExportStdoutSilent(t *testing.T) {
+	snap := tracedSnapshot(t)
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "metrics.json")
+	tracePath := filepath.Join(dir, "trace.json")
+	exportErr := exportSnapshot(snap, jsonPath, tracePath)
+	var regressed bool
+	var compareErr error
+	if exportErr == nil {
+		// Comparing a run against its own export must be regression-free.
+		regressed, compareErr = compareAgainst(snap, jsonPath, defaultWatch, 0.10, io.Discard)
+	}
+
+	os.Stdout = orig
+	w.Close()
+	leaked, _ := io.ReadAll(r)
+
+	if exportErr != nil {
+		t.Fatalf("exportSnapshot: %v", exportErr)
+	}
+	if compareErr != nil {
+		t.Fatalf("compareAgainst: %v", compareErr)
+	}
+	if regressed {
+		t.Error("self-comparison reported a regression")
+	}
+	if len(leaked) != 0 {
+		t.Errorf("telemetry sinks wrote %d bytes to stdout: %q", len(leaked), leaked)
+	}
+	for _, p := range []string{jsonPath, tracePath} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("%s not written (err=%v)", p, err)
+		}
+	}
+}
+
+// chromeTrace mirrors the Chrome trace-event JSON file layout.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name  string   `json:"name"`
+		Phase string   `json:"ph"`
+		TS    *float64 `json:"ts"`
+		Dur   float64  `json:"dur"`
+		PID   int      `json:"pid"`
+		TID   int      `json:"tid"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// TestTraceCoversPipeline asserts the span trace of an instrumented run is
+// valid Chrome trace JSON and covers every pipeline phase: artifact driver,
+// pool jobs, analysis stages, solver, and interpreter.
+func TestTraceCoversPipeline(t *testing.T) {
+	snap := tracedSnapshot(t)
+
+	names := map[string]bool{}
+	for _, sp := range snap.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{
+		"experiments/analyze-all",
+		"experiments/analyze-cell",
+		"experiments/table4",
+		"experiments/table4-app",
+		"core/analyze",
+		"core/stage/fallback",
+		"core/stage/optimistic",
+		"core/instrument",
+		"pointsto/build",
+		"pointsto/solve",
+		"interp/run",
+	} {
+		if !names[want] {
+			t.Errorf("trace is missing a %q span", want)
+		}
+	}
+
+	data, err := snap.ChromeTrace()
+	if err != nil {
+		t.Fatalf("ChromeTrace: %v", err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	complete := 0
+	for _, ev := range tr.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			complete++
+			if ev.Name == "" || ev.TS == nil || *ev.TS < 0 || ev.Dur < 0 || ev.PID != 1 || ev.TID < 0 {
+				t.Fatalf("malformed complete event: %+v", ev)
+			}
+		case "M":
+			// process/thread metadata
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Phase)
+		}
+	}
+	if complete != len(snap.Spans) {
+		t.Errorf("trace has %d complete events, snapshot has %d spans", complete, len(snap.Spans))
+	}
+}
+
+// TestTracedSnapshotHistograms asserts the acceptance-level histogram
+// surface: delta sizes and pool-job latency expose p50/p90/p99 after a run.
+func TestTracedSnapshotHistograms(t *testing.T) {
+	snap := tracedSnapshot(t)
+	for _, name := range []string{"pointsto/delta/size", "pointsto/pts/size", "runner/job-latency-ns"} {
+		h, ok := snap.Histograms[name]
+		if !ok {
+			t.Errorf("snapshot is missing histogram %q", name)
+			continue
+		}
+		if h.Count == 0 {
+			t.Errorf("histogram %q observed nothing", name)
+		}
+		if h.P50 > h.P90 || h.P90 > h.P99 || h.P99 > h.Max {
+			t.Errorf("histogram %q has non-monotone quantiles: %+v", name, h)
+		}
+	}
+}
+
+// TestCompareRegressionExit drives the -compare-metrics decision: a watched
+// counter growing past the threshold regresses (non-zero exit in the CLI);
+// within threshold, or unwatched, it does not.
+func TestCompareRegressionExit(t *testing.T) {
+	oldReg := telemetry.New()
+	oldReg.Counter("pointsto/worklist/pops").Add(100)
+	curReg := telemetry.New()
+	curReg.Counter("pointsto/worklist/pops").Add(150)
+
+	baseline := filepath.Join(t.TempDir(), "old.json")
+	data, err := json.Marshal(oldReg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var report strings.Builder
+	regressed, err := compareAgainst(curReg.Snapshot(), baseline, []string{"pointsto/worklist/pops"}, 0.10, &report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Error("+50% on a watched counter at 10% threshold did not regress")
+	}
+	if !strings.Contains(report.String(), "REGRESSION") {
+		t.Errorf("report does not flag the regression:\n%s", report.String())
+	}
+
+	if regressed, err = compareAgainst(curReg.Snapshot(), baseline, []string{"pointsto/worklist/pops"}, 1.0, io.Discard); err != nil || regressed {
+		t.Errorf("within-threshold growth regressed (err=%v)", err)
+	}
+	if regressed, err = compareAgainst(curReg.Snapshot(), baseline, nil, 0.10, io.Discard); err != nil || regressed {
+		t.Errorf("unwatched growth regressed (err=%v)", err)
+	}
+
+	if _, err := compareAgainst(curReg.Snapshot(), filepath.Join(t.TempDir(), "missing.json"), nil, 0.10, io.Discard); err == nil {
+		t.Error("missing baseline file did not error")
+	}
+}

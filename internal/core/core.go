@@ -56,20 +56,28 @@ func AnalyzeWithMetrics(m *ir.Module, cfg invariant.Config, metrics *telemetry.R
 // across all optimistic configurations; passing nil computes it here.
 func AnalyzeWithFallback(m *ir.Module, cfg invariant.Config, fallback *pointsto.Result, metrics *telemetry.Registry) *System {
 	s := &System{Module: m, Config: cfg, Metrics: metrics}
+	span, finish := metrics.StartSpan("core/analyze", nil)
+	defer finish()
 	if fallback == nil {
+		sp, fin := metrics.StartSpan("core/stage/fallback", span)
 		stop := metrics.Timer("core/stage/fallback").Start()
 		a := pointsto.New(m, invariant.Config{})
 		a.SetMetrics(metrics)
+		a.SetSpan(sp)
 		fallback = a.Solve()
 		stop()
+		fin()
 	}
 	s.Fallback = fallback
 	if cfg.Any() {
+		sp, fin := metrics.StartSpan("core/stage/optimistic", span)
 		stop := metrics.Timer("core/stage/optimistic").Start()
 		a := pointsto.New(m, cfg)
 		a.SetMetrics(metrics)
+		a.SetSpan(sp)
 		s.Optimistic = a.Solve()
 		stop()
+		fin()
 	} else {
 		s.Optimistic = s.Fallback
 	}
@@ -115,6 +123,10 @@ type Hardened struct {
 
 // Harden derives the CFI policies for both views (stage ③ preparation).
 func (s *System) Harden() *Hardened {
+	_, finish := s.Metrics.StartSpan("core/instrument", nil)
+	defer finish()
+	stop := s.Metrics.Timer("core/instrument").Start()
+	defer stop()
 	return &Hardened{
 		Sys:        s,
 		Optimistic: cfi.PolicyFrom(s.Optimistic),

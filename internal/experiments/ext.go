@@ -25,9 +25,9 @@ type ExtDebloatRow struct {
 // application, one app per worker-pool job. Debloating is pure analysis, so
 // a failure is a programming error and propagates as a panic.
 func (s *Session) ExtDebloatData() []ExtDebloatRow {
-	stop := s.Metrics.Timer("experiments/ext-debloat").Start()
+	span, stop := s.phase("experiments/ext-debloat")
 	defer stop()
-	return perApp(s.workers(), func(app *workload.App) ExtDebloatRow {
+	return perApp(s, s.workers(), "experiments/ext-debloat-app", span, func(app *workload.App) ExtDebloatRow {
 		rep := debloat.Compute(s.System(app, invariant.All()), "main")
 		return ExtDebloatRow{
 			App:            app.Name,
@@ -72,9 +72,9 @@ type ExtGradedRow struct {
 // job. Graded analysis runs its own ablation ladder, so it bypasses the
 // session cache; like all pure-analysis drivers, failures panic.
 func (s *Session) ExtGradedData() []ExtGradedRow {
-	stop := s.Metrics.Timer("experiments/ext-graded").Start()
+	span, stop := s.phase("experiments/ext-graded")
 	defer stop()
-	return perApp(s.workers(), func(app *workload.App) ExtGradedRow {
+	return perApp(s, s.workers(), "experiments/ext-graded-app", span, func(app *workload.App) ExtGradedRow {
 		g := core.AnalyzeGraded(app.MustModule())
 		row := ExtGradedRow{App: app.Name, Levels: map[string]float64{}}
 		for name, p := range g.Policies {

@@ -37,9 +37,9 @@ type PerfRow struct {
 // wall-clock throughput. This is the one artifact whose numbers are not
 // byte-reproducible across runs.
 func (s *Session) Figure13Data() []PerfRow {
-	stop := s.Metrics.Timer("experiments/figure13").Start()
+	span, stop := s.phase("experiments/figure13")
 	defer stop()
-	return perApp(1, func(app *workload.App) PerfRow {
+	return perApp(s, 1, "experiments/figure13-app", span, func(app *workload.App) PerfRow {
 		row := PerfRow{
 			App:        app.Name,
 			Throughput: map[string]float64{},

@@ -59,6 +59,19 @@ func (s *Session) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// phase opens one artifact driver's instrumentation: a phase timer plus a
+// root span of the same name. The span is handed to the driver's pool jobs
+// so their per-job spans nest under the artifact in the trace; the finish
+// func closes both. Inert without a registry.
+func (s *Session) phase(name string) (*telemetry.Span, func()) {
+	stopTimer := s.Metrics.Timer(name).Start()
+	span, finishSpan := s.Metrics.StartSpan(name, nil)
+	return span, func() {
+		finishSpan()
+		stopTimer()
+	}
+}
+
 // System returns the session-cached IGO analysis of app under cfg.
 func (s *Session) System(app *workload.App, cfg invariant.Config) *core.System {
 	return s.cache.System(app, cfg)
@@ -68,7 +81,7 @@ func (s *Session) System(app *workload.App, cfg invariant.Config) *core.System {
 // the 9×8 matrix across the worker pool. Cell failures are programming
 // errors (analysis takes no runtime input) and propagate as panics.
 func (s *Session) AnalyzeAll() []*AppData {
-	stop := s.Metrics.Timer("experiments/analyze-all").Start()
+	span, stop := s.phase("experiments/analyze-all")
 	defer stop()
 	apps := workload.Apps()
 	cfgs := invariant.Ablations()
@@ -77,7 +90,8 @@ func (s *Session) AnalyzeAll() []*AppData {
 		sizes []int
 		cfi   []int
 	}
-	res := runner.Map(len(apps)*len(cfgs), s.workers(), func(i int) (cell, error) {
+	tr := runner.Trace{Metrics: s.Metrics, Parent: span, Label: "experiments/analyze-cell"}
+	res := runner.MapTraced(len(apps)*len(cfgs), s.workers(), tr, func(i int) (cell, error) {
 		app, cfg := apps[i/len(cfgs)], cfgs[i%len(cfgs)]
 		sys := s.System(app, cfg)
 		return cell{
@@ -111,10 +125,11 @@ func (s *Session) AnalyzeAll() []*AppData {
 
 // perApp fans one row-producing job per application across the worker pool
 // with `workers` goroutines, converting recovered panics into error rows via
-// errRow.
-func perApp[T any](workers int, job func(app *workload.App) T, errRow func(app *workload.App, err error) T) []T {
+// errRow. Per-app job spans (named label) nest under the artifact span.
+func perApp[T any](s *Session, workers int, label string, span *telemetry.Span, job func(app *workload.App) T, errRow func(app *workload.App, err error) T) []T {
 	apps := workload.Apps()
-	res := runner.Map(len(apps), workers, func(i int) (T, error) {
+	tr := runner.Trace{Metrics: s.Metrics, Parent: span, Label: label}
+	res := runner.MapTraced(len(apps), workers, tr, func(i int) (T, error) {
 		return job(apps[i]), nil
 	})
 	rows := make([]T, len(apps))

@@ -91,9 +91,9 @@ type CoverageRow struct {
 // Table4Data runs the CFI benchmark drivers and collects coverage
 // (paper Table 4), one application per worker-pool job.
 func (s *Session) Table4Data() []CoverageRow {
-	stop := s.Metrics.Timer("experiments/table4").Start()
+	span, stop := s.phase("experiments/table4")
 	defer stop()
-	return perApp(s.workers(), func(app *workload.App) CoverageRow {
+	return perApp(s, s.workers(), "experiments/table4-app", span, func(app *workload.App) CoverageRow {
 		h := s.System(app, invariant.All()).Harden()
 		e := h.NewExecution(false)
 		merged := e.Run("main", app.Requests(s.Opt.Requests, s.Opt.Seed))
@@ -121,9 +121,9 @@ func Table4Data(opt Options) []CoverageRow { return serialSession(opt).Table4Dat
 // Table5Data runs the fuzzing campaign (paper Table 5), one application per
 // worker-pool job.
 func (s *Session) Table5Data() []CoverageRow {
-	stop := s.Metrics.Timer("experiments/table5").Start()
+	span, stop := s.phase("experiments/table5")
 	defer stop()
-	return perApp(s.workers(), func(app *workload.App) CoverageRow {
+	return perApp(s, s.workers(), "experiments/table5-app", span, func(app *workload.App) CoverageRow {
 		h := s.System(app, invariant.All()).Harden()
 		rep := fuzzer.Run(h, "main", app.FuzzSeeds, fuzzer.Config{
 			Iterations: s.Opt.FuzzIters,

@@ -161,6 +161,8 @@ func New(m *ir.Module, cfg Config) *Machine {
 // runtime faults are reported in Trace.Err (the trace up to the fault is
 // valid).
 func (mc *Machine) Run(entry string, inputs []int64) *Trace {
+	_, finish := mc.cfg.Metrics.StartSpan("interp/run", nil)
+	defer finish()
 	mc.globals = map[string]*RObj{}
 	for _, g := range mc.mod.Globals {
 		l := mc.layouts.Of(g.Type)
@@ -202,6 +204,7 @@ func (mc *Machine) flushMetrics() {
 	}
 	r.Counter("interp/runs").Inc()
 	r.Counter("interp/steps").Add(mc.steps)
+	r.Histogram("interp/steps-per-run").Observe(mc.steps)
 	r.Counter("interp/memops").Add(mc.trace.MemOps)
 	r.Counter("interp/monitor/ptradd").Add(mc.fires.ptrAdd)
 	r.Counter("interp/monitor/fieldaddr").Add(mc.fires.field)

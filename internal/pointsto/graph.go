@@ -1,6 +1,8 @@
 package pointsto
 
 import (
+	"time"
+
 	"repro/internal/bitset"
 	"repro/internal/invariant"
 	"repro/internal/ir"
@@ -159,6 +161,21 @@ type Analysis struct {
 	stats   Stats
 	flushed Stats               // stats already exported to metrics
 	metrics *telemetry.Registry // nil disables telemetry
+
+	// Tracing state. The parent span (if any) nests this analysis's phase
+	// spans under the caller's stage span; build timing is captured in New
+	// (before a registry can be attached) and exported retroactively on the
+	// first flush. Hot-path instruments are resolved once in SetMetrics so
+	// per-pop recording is an atomic add — or, with no registry, a nil check.
+	parentSpan   *telemetry.Span
+	buildStart   time.Time
+	buildDur     time.Duration
+	buildEmitted bool
+	hDeltaSize   *telemetry.Histogram // pointsto/delta/size
+	hWLDepth     *telemetry.Histogram // pointsto/worklist/depth
+	hPtsSize     *telemetry.Histogram // pointsto/pts/size
+	cLivePops    *telemetry.Counter   // pointsto/progress/pops (live, for the watchdog)
+	gLiveDepth   *telemetry.Gauge     // pointsto/progress/worklist-depth (live)
 }
 
 // SetNaive disables copy-cycle collapse (positive-weight-cycle handling is
@@ -195,16 +212,33 @@ func New(m *ir.Module, cfg invariant.Config) *Analysis {
 		paDisabled:  map[int]bool{},
 		pwcDone:     map[int]bool{},
 	}
+	a.buildStart = time.Now()
 	a.build()
+	a.buildDur = time.Since(a.buildStart)
 	return a
 }
 
 // SetMetrics attaches a telemetry registry; the solver reports constraint
-// counts, worklist pops, SCC/wave rounds, and per-phase wall time into it at
-// the end of every Solve (and of every incremental re-solve). A nil registry
-// (the default) keeps the solver telemetry-free. Must be called before
+// counts, worklist pops, SCC/wave rounds, per-phase wall time, and
+// distribution histograms (delta sizes, fixpoint points-to set sizes,
+// worklist depth per round) into it at the end of every Solve (and of every
+// incremental re-solve), plus live progress counters for the stall
+// watchdog. A nil registry (the default) keeps the solver telemetry-free.
+// Must be called before Solve.
+func (a *Analysis) SetMetrics(r *telemetry.Registry) {
+	a.metrics = r
+	a.hDeltaSize = r.Histogram("pointsto/delta/size")
+	a.hWLDepth = r.Histogram("pointsto/worklist/depth")
+	a.hPtsSize = r.Histogram("pointsto/pts/size")
+	a.cLivePops = r.Counter("pointsto/progress/pops")
+	a.gLiveDepth = r.Gauge("pointsto/progress/worklist-depth")
+}
+
+// SetSpan nests this analysis's phase spans (build, solve, per-round
+// propagate/scc/wave) under parent in the attached registry's span log.
+// Optional; without it the phase spans are roots. Must be called before
 // Solve.
-func (a *Analysis) SetMetrics(r *telemetry.Registry) { a.metrics = r }
+func (a *Analysis) SetSpan(parent *telemetry.Span) { a.parentSpan = parent }
 
 // SetTracer installs an introspection tracer; it must be called before Solve.
 func (a *Analysis) SetTracer(t Tracer) {

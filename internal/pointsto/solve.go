@@ -21,18 +21,33 @@ func (a *Analysis) Solve() *Result {
 // resolve runs propagation + cycle detection to a fixed point; it is also
 // the incremental re-solve entry used by Restore.
 func (a *Analysis) resolve() {
+	if a.metrics != nil && !a.buildEmitted {
+		// Constraint-graph construction ran inside New, before a registry
+		// could be attached; export its interval retroactively, once.
+		a.buildEmitted = true
+		a.metrics.RecordSpan("pointsto/build", a.parentSpan, a.buildStart, a.buildDur)
+	}
+	solveSpan, finishSolve := a.metrics.StartSpan("pointsto/solve", a.parentSpan)
 	stop := a.metrics.Timer("pointsto/phase/solve").Start()
 	if a.wave {
-		a.solveWave()
+		a.solveWave(solveSpan)
 	} else {
 		a.ensureWL()
 		for {
+			// One histogram sample of worklist depth per solver round, plus
+			// the live gauge the stall watchdog reads.
+			a.hWLDepth.Observe(int64(len(a.worklist)))
+			a.gLiveDepth.Set(int64(len(a.worklist)))
+			_, finP := a.metrics.StartSpan("pointsto/round/propagate", solveSpan)
 			stopP := a.metrics.Timer("pointsto/phase/propagate").Start()
 			a.drain()
 			stopP()
+			finP()
+			_, finS := a.metrics.StartSpan("pointsto/round/scc", solveSpan)
 			stopS := a.metrics.Timer("pointsto/phase/scc").Start()
 			changed := a.sccPass()
 			stopS()
+			finS()
 			if !changed {
 				break
 			}
@@ -45,6 +60,7 @@ func (a *Analysis) resolve() {
 	// analysis may then be read from many goroutines concurrently.
 	a.flattenReps()
 	stop()
+	finishSolve()
 	a.flushMetrics()
 }
 
@@ -89,6 +105,13 @@ func (a *Analysis) flushMetrics() {
 	m.Counter("pointsto/delta/full-bits-avoided").Add(int64(d.BitsAvoided - prev.BitsAvoided))
 	m.Gauge("pointsto/graph/nodes").SetMax(int64(len(a.nodes)))
 	m.Gauge("pointsto/graph/objects").SetMax(int64(len(a.objects)))
+	// Distribution of points-to set sizes at this fixpoint, over
+	// representative nodes with non-empty sets (reps are flattened by now).
+	for i := range a.nodes {
+		if int(a.rep[i]) == i && a.pts[i] != nil && !a.pts[i].Empty() {
+			a.hPtsSize.Observe(int64(a.pts[i].Len()))
+		}
+	}
 }
 
 // drain processes the worklist to exhaustion.
@@ -114,20 +137,25 @@ func (a *Analysis) drain() {
 // facts that are already present.
 func (a *Analysis) processNode(n int) {
 	a.stats.Iterations++
+	a.cLivePops.Inc()
 	a.ensureWL()
 	var work *bitset.Set
 	if a.noDelta {
 		work = a.pts[n]
 		if work != nil {
-			a.stats.BitsPropagated += work.Len()
+			size := work.Len()
+			a.stats.BitsPropagated += size
+			a.hDeltaSize.Observe(int64(size))
 		}
 	} else {
 		work = a.delta[n]
 		a.delta[n] = nil
 		if work != nil {
-			a.stats.BitsPropagated += work.Len()
+			size := work.Len()
+			a.stats.BitsPropagated += size
+			a.hDeltaSize.Observe(int64(size))
 			if a.pts[n] != nil {
-				a.stats.BitsAvoided += a.pts[n].Len() - work.Len()
+				a.stats.BitsAvoided += a.pts[n].Len() - size
 			}
 		}
 	}

@@ -1,5 +1,7 @@
 package pointsto
 
+import "repro/internal/telemetry"
+
 // Wave propagation (Pereira and Berlin, CGO'09 — cited by the paper as one
 // of the standard Andersen accelerations). Instead of popping worklist nodes
 // in arbitrary order, each wave collapses copy cycles, topologically sorts
@@ -12,11 +14,15 @@ package pointsto
 // before Solve.
 func (a *Analysis) SetWave(wave bool) { a.wave = wave }
 
-// solveWave runs wave propagation to a fixed point.
-func (a *Analysis) solveWave() {
+// solveWave runs wave propagation to a fixed point. Wave spans nest under
+// the caller's solve span.
+func (a *Analysis) solveWave(solveSpan *telemetry.Span) {
 	a.ensureWL()
 	for {
 		a.stats.Waves++
+		a.hWLDepth.Observe(int64(len(a.worklist)))
+		a.gLiveDepth.Set(int64(len(a.worklist)))
+		_, finW := a.metrics.StartSpan("pointsto/round/wave", solveSpan)
 		stopW := a.metrics.Timer("pointsto/phase/wave").Start()
 		// Collapse copy cycles first so the remaining graph is (nearly) a
 		// DAG; PWC handling follows the configured policy.
@@ -37,6 +43,7 @@ func (a *Analysis) solveWave() {
 		// Drain any residual work (derived edges may point upstream).
 		a.drain()
 		stopW()
+		finW()
 		if !changed && !a.sccPass() {
 			// One more quiescence check: nothing changed structurally and
 			// the worklist is empty.

@@ -18,6 +18,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Result is one job's outcome, delivered in submission order.
@@ -37,11 +39,30 @@ type PanicError struct {
 
 func (e *PanicError) Error() string { return fmt.Sprintf("job panicked: %v", e.Value) }
 
+// Trace is the optional observability hookup of a Map call. With a nil
+// Metrics registry every field is inert and the pool behaves exactly like
+// the untraced Map. With a registry attached, each job records its latency
+// into the "runner/job-latency-ns" histogram, recovered panics count into
+// "runner/jobs-panicked", and every job runs under a span (named Label,
+// parented to Parent) tagged with its worker lane.
+type Trace struct {
+	Metrics *telemetry.Registry
+	Parent  *telemetry.Span // parent of each per-job span (may be nil)
+	Label   string          // per-job span name; "" defaults to "runner/job"
+}
+
 // Map runs fn(0..n-1) across a pool of `workers` goroutines (GOMAXPROCS if
 // workers <= 0) and returns the results indexed by job number. Jobs are
 // claimed from a shared atomic cursor, so workers stay busy regardless of
 // per-job cost skew; a panicking job is recovered into its Result.
 func Map[T any](n, workers int, fn func(i int) (T, error)) []Result[T] {
+	return MapTraced(n, workers, Trace{}, fn)
+}
+
+// MapTraced is Map with telemetry: job spans, a latency histogram, and a
+// panic counter (see Trace). The determinism contract is unchanged — tracing
+// observes job execution, it never reorders or alters it.
+func MapTraced[T any](n, workers int, tr Trace, fn func(i int) (T, error)) []Result[T] {
 	if n <= 0 {
 		return nil
 	}
@@ -51,13 +72,20 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) []Result[T] {
 	if workers > n {
 		workers = n
 	}
+	if tr.Label == "" {
+		tr.Label = "runner/job"
+	}
+	// Instrument lookups happen once per Map call, not per job; with no
+	// registry these are all nil (inert) instruments.
+	latency := tr.Metrics.Histogram("runner/job-latency-ns")
+	panicked := tr.Metrics.Counter("runner/jobs-panicked")
 	out := make([]Result[T], n)
 	if workers == 1 {
 		// Serial fast path: no goroutine or scheduling overhead, identical
 		// semantics (this is the -parallel 1 reference the byte-identity
 		// tests compare against).
 		for i := 0; i < n; i++ {
-			out[i] = runJob(i, fn)
+			out[i] = runJob(i, 0, tr, latency, panicked, fn)
 		}
 		return out
 	}
@@ -65,28 +93,33 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) []Result[T] {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
 				}
-				out[i] = runJob(i, fn)
+				out[i] = runJob(i, w, tr, latency, panicked, fn)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return out
 }
 
-// runJob executes one job with panic recovery and timing.
-func runJob[T any](i int, fn func(i int) (T, error)) (res Result[T]) {
+// runJob executes one job with panic recovery, timing, and telemetry.
+func runJob[T any](i, worker int, tr Trace, latency *telemetry.Histogram, panicked *telemetry.Counter, fn func(i int) (T, error)) (res Result[T]) {
 	res.Index = i
+	sp, finish := tr.Metrics.StartSpan(tr.Label, tr.Parent)
+	sp.SetWorker(worker)
 	start := time.Now()
 	defer func() {
 		res.Elapsed = time.Since(start)
+		latency.Observe(res.Elapsed.Nanoseconds())
+		finish()
 		if p := recover(); p != nil {
+			panicked.Inc()
 			res.Err = &PanicError{Value: p, Stack: debug.Stack()}
 		}
 	}()

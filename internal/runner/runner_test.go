@@ -84,6 +84,54 @@ func TestMapPanicRecovery(t *testing.T) {
 	}
 }
 
+// TestMapPanicCounter checks recovered panics are counted in the
+// runner/jobs-panicked counter and that job latencies land in the
+// runner/job-latency-ns histogram, under both the serial and pooled paths.
+func TestMapPanicCounter(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		reg := telemetry.New()
+		res := MapTraced(6, workers, Trace{Metrics: reg, Label: "test/job"}, func(i int) (int, error) {
+			if i%3 == 0 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+		if got := reg.Counter("runner/jobs-panicked").Value(); got != 2 {
+			t.Errorf("workers=%d: jobs-panicked = %d, want 2", workers, got)
+		}
+		if got := reg.Histogram("runner/job-latency-ns").Count(); got != 6 {
+			t.Errorf("workers=%d: latency observations = %d, want 6", workers, got)
+		}
+		var pe *PanicError
+		if !errors.As(res[0].Err, &pe) || res[1].Err != nil {
+			t.Errorf("workers=%d: unexpected result errors %v / %v", workers, res[0].Err, res[1].Err)
+		}
+		// Every job ran under a span tagged with a worker lane below the
+		// pool width.
+		spans := reg.Snapshot().Spans
+		if len(spans) != 6 {
+			t.Fatalf("workers=%d: got %d spans, want 6", workers, len(spans))
+		}
+		for _, sp := range spans {
+			if sp.Name != "test/job" {
+				t.Errorf("span name = %q, want test/job", sp.Name)
+			}
+			if sp.Worker < 0 || sp.Worker >= workers {
+				t.Errorf("span worker = %d, want in [0,%d)", sp.Worker, workers)
+			}
+		}
+	}
+}
+
+// TestMapUntracedInert checks the plain Map path records nothing (the Trace
+// zero value is inert).
+func TestMapUntracedInert(t *testing.T) {
+	res := Map(3, 2, func(i int) (int, error) { return i, nil })
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+}
+
 // TestMapWorkerCap checks concurrency never exceeds the requested width.
 func TestMapWorkerCap(t *testing.T) {
 	const workers = 3

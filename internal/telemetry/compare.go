@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Delta is one instrument's change between two snapshots. Value semantics
+// per kind: counters and gauges compare their integer value, timers their
+// total milliseconds, histograms their p99. Old or New is 0 when the
+// instrument exists in only one snapshot.
+type Delta struct {
+	Name      string  `json:"name"`
+	Kind      string  `json:"kind"` // "counter" | "gauge" | "timer" | "histogram"
+	Old       float64 `json:"old"`
+	New       float64 `json:"new"`
+	Watched   bool    `json:"watched,omitempty"`
+	Regressed bool    `json:"regressed,omitempty"`
+}
+
+// Ratio returns New/Old (0 when Old is 0).
+func (d Delta) Ratio() float64 {
+	if d.Old == 0 {
+		return 0
+	}
+	return d.New / d.Old
+}
+
+// Comparison is the per-instrument diff of two snapshots, sorted by kind
+// then name.
+type Comparison struct {
+	Threshold float64 `json:"threshold"`
+	Deltas    []Delta `json:"deltas"`
+}
+
+// CompareSnapshots diffs cur against old. Instruments whose name is in
+// watch are regression-checked: a watched instrument regresses when its new
+// value exceeds its old value by more than threshold (a fraction: 0.10 =
+// 10%). Watched instruments absent from the old snapshot never regress —
+// there is no baseline to compare against.
+func CompareSnapshots(old, cur Snapshot, watch []string, threshold float64) Comparison {
+	watched := make(map[string]bool, len(watch))
+	for _, name := range watch {
+		watched[name] = true
+	}
+	c := Comparison{Threshold: threshold}
+	add := func(kind, name string, oldV, newV float64) {
+		d := Delta{Name: name, Kind: kind, Old: oldV, New: newV, Watched: watched[name]}
+		d.Regressed = d.Watched && oldV > 0 && newV > oldV*(1+threshold)
+		c.Deltas = append(c.Deltas, d)
+	}
+	counterNames := unionKeys(keysOf(old.Counters), keysOf(cur.Counters))
+	for _, name := range counterNames {
+		add("counter", name, float64(old.Counters[name]), float64(cur.Counters[name]))
+	}
+	for _, name := range unionKeys(keysOf(old.Gauges), keysOf(cur.Gauges)) {
+		add("gauge", name, float64(old.Gauges[name]), float64(cur.Gauges[name]))
+	}
+	for _, name := range unionKeys(keysOf(old.Timers), keysOf(cur.Timers)) {
+		add("timer", name, old.Timers[name].TotalMS, cur.Timers[name].TotalMS)
+	}
+	for _, name := range unionKeys(keysOf(old.Histograms), keysOf(cur.Histograms)) {
+		add("histogram", name, float64(old.Histograms[name].P99), float64(cur.Histograms[name].P99))
+	}
+	sort.Slice(c.Deltas, func(i, j int) bool {
+		if c.Deltas[i].Kind != c.Deltas[j].Kind {
+			return c.Deltas[i].Kind < c.Deltas[j].Kind
+		}
+		return c.Deltas[i].Name < c.Deltas[j].Name
+	})
+	return c
+}
+
+// Regressions returns the watched deltas that exceeded the threshold.
+func (c Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Text renders the comparison as an aligned table, flagging watched and
+// regressed instruments, with a one-line verdict at the end.
+func (c Comparison) Text() string {
+	var b strings.Builder
+	b.WriteString("metrics comparison (old -> new)\n")
+	width := 0
+	for _, d := range c.Deltas {
+		if len(d.Name) > width {
+			width = len(d.Name)
+		}
+	}
+	for _, d := range c.Deltas {
+		mark := ""
+		if d.Regressed {
+			mark = "  REGRESSION"
+		} else if d.Watched {
+			mark = "  watched"
+		}
+		change := "    -"
+		if d.Old != 0 {
+			change = fmt.Sprintf("%+.1f%%", (d.Ratio()-1)*100)
+		}
+		fmt.Fprintf(&b, "  %-9s %-*s %14.3f -> %14.3f  %s%s\n",
+			d.Kind, width, d.Name, d.Old, d.New, change, mark)
+	}
+	if regs := c.Regressions(); len(regs) > 0 {
+		fmt.Fprintf(&b, "%d watched instrument(s) regressed past %.0f%%\n",
+			len(regs), c.Threshold*100)
+	} else {
+		b.WriteString("no watched instrument regressed\n")
+	}
+	return b.String()
+}
+
+// unionKeys merges key slices, dropping duplicates.
+func unionKeys(sets ...[]string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, keys := range sets {
+		for _, k := range keys {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}

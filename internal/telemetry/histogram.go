@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the bucket count of a Histogram: bucket i holds values v
+// with bits.Len64(v) == i, i.e. bucket 0 is exactly {0} and bucket i>0 spans
+// [2^(i-1), 2^i). 65 buckets cover the whole non-negative int64 range.
+const histBuckets = 65
+
+// Histogram is a log2-bucketed distribution of non-negative integer samples
+// (set sizes, depths, nanosecond latencies). Observations are two atomic adds
+// plus an atomic max, so hot paths can record per-event values; exact values
+// are folded into power-of-two buckets, from which snapshots derive
+// approximate percentiles (reported as the bucket's inclusive upper bound,
+// clamped to the exact observed maximum).
+type Histogram struct {
+	count   int64
+	sum     int64
+	max     int64
+	buckets [histBuckets]int64
+}
+
+// Observe records one sample. Negative values are clamped to 0. Safe on a
+// nil Histogram and for concurrent writers.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	atomic.AddInt64(&h.count, 1)
+	atomic.AddInt64(&h.sum, v)
+	atomic.AddInt64(&h.buckets[bits.Len64(uint64(v))], 1)
+	for {
+		cur := atomic.LoadInt64(&h.max)
+		if v <= cur || atomic.CompareAndSwapInt64(&h.max, cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 for a nil Histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&h.count)
+}
+
+// Max returns the largest observed sample (0 for a nil Histogram).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&h.max)
+}
+
+// bucketUpper is bucket i's inclusive upper bound.
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return int64(^uint64(0) >> 1) // math.MaxInt64
+	}
+	return int64(1)<<i - 1
+}
+
+// HistStat is one histogram's exported state: totals plus approximate
+// percentiles (bucket upper bounds, clamped to the exact max).
+type HistStat struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Max   int64   `json:"max"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+}
+
+// stat snapshots the histogram. Concurrent writers may land between the
+// bucket reads; the result is a consistent-enough point-in-time view for
+// reporting (totals and buckets can be off by in-flight observations).
+func (h *Histogram) stat() HistStat {
+	var s HistStat
+	if h == nil {
+		return s
+	}
+	s.Count = atomic.LoadInt64(&h.count)
+	s.Sum = atomic.LoadInt64(&h.sum)
+	s.Max = atomic.LoadInt64(&h.max)
+	if s.Count == 0 {
+		return s
+	}
+	s.Mean = float64(s.Sum) / float64(s.Count)
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = atomic.LoadInt64(&h.buckets[i])
+		total += counts[i]
+	}
+	quantile := func(q float64) int64 {
+		need := int64(q*float64(total) + 0.5)
+		if need < 1 {
+			need = 1
+		}
+		var cum int64
+		for i, c := range counts {
+			cum += c
+			if cum >= need {
+				u := bucketUpper(i)
+				if u > s.Max {
+					u = s.Max
+				}
+				return u
+			}
+		}
+		return s.Max
+	}
+	s.P50 = quantile(0.50)
+	s.P90 = quantile(0.90)
+	s.P99 = quantile(0.99)
+	return s
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+// TestHistogramPercentiles checks bucketed percentile estimates: reported
+// quantiles are bucket upper bounds, never below the true quantile's bucket
+// and clamped to the exact max.
+func TestHistogramPercentiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("sizes")
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	s := h.stat()
+	if s.Count != 100 || s.Sum != 5050 || s.Max != 100 {
+		t.Fatalf("stat = %+v, want count 100 sum 5050 max 100", s)
+	}
+	if s.Mean != 50.5 {
+		t.Errorf("mean = %v, want 50.5", s.Mean)
+	}
+	// True p50 is 50 (bucket [32,63] -> upper 63); p99 is 99 (bucket
+	// [64,127] -> clamped to max 100).
+	if s.P50 < 50 || s.P50 > 63 {
+		t.Errorf("p50 = %d, want in [50,63]", s.P50)
+	}
+	if s.P90 < 90 || s.P90 > 100 {
+		t.Errorf("p90 = %d, want in [90,100]", s.P90)
+	}
+	if s.P99 != 100 {
+		t.Errorf("p99 = %d, want clamped to max 100", s.P99)
+	}
+}
+
+// TestHistogramEdgeValues covers zero, negative (clamped), and single-sample
+// distributions.
+func TestHistogramEdgeValues(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5)
+	s := h.stat()
+	if s.Count != 2 || s.Sum != 0 || s.Max != 0 {
+		t.Errorf("stat = %+v, want two zero samples", s)
+	}
+	if s.P50 != 0 || s.P99 != 0 {
+		t.Errorf("percentiles = %d/%d, want 0/0", s.P50, s.P99)
+	}
+
+	var one Histogram
+	one.Observe(1 << 40)
+	s = one.stat()
+	if s.P50 != 1<<40 || s.P99 != 1<<40 || s.Max != 1<<40 {
+		t.Errorf("single-sample stat = %+v, want all quantiles = max", s)
+	}
+}
+
+// TestHistogramNilSafety checks the nil-instrument contract.
+func TestHistogramNilSafety(t *testing.T) {
+	var r *Registry
+	h := r.Histogram("h")
+	if h != nil {
+		t.Error("nil registry should hand out a nil histogram")
+	}
+	h.Observe(42)
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Error("nil histogram should read 0")
+	}
+	if s := h.stat(); s.Count != 0 {
+		t.Errorf("nil histogram stat = %+v, want zero", s)
+	}
+}
+
+// TestHistogramInterning verifies repeated lookups return the same
+// instrument and that it lands in snapshots.
+func TestHistogramInterning(t *testing.T) {
+	r := New()
+	if r.Histogram("x") != r.Histogram("x") {
+		t.Error("Histogram not interned")
+	}
+	r.Histogram("x").Observe(9)
+	if got := r.Snapshot().Histograms["x"]; got.Count != 1 || got.Max != 9 {
+		t.Errorf("snapshot histogram = %+v, want count 1 max 9", got)
+	}
+}
+
+// TestBucketUpper pins the bucket bounds the percentile math relies on.
+func TestBucketUpper(t *testing.T) {
+	cases := map[int]int64{0: 0, 1: 1, 2: 3, 3: 7, 10: 1023, 64: 1<<63 - 1}
+	for bucket, want := range cases {
+		if got := bucketUpper(bucket); got != want {
+			t.Errorf("bucketUpper(%d) = %d, want %d", bucket, got, want)
+		}
+	}
+}

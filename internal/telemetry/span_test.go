@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanHierarchy builds a small tree and checks the recorded parent
+// links, worker inheritance, and snapshot ordering.
+func TestSpanHierarchy(t *testing.T) {
+	r := New()
+	root, finRoot := r.StartSpan("root", nil)
+	root.SetWorker(3)
+	child, finChild := r.StartSpan("child", root)
+	_, finGrand := r.StartSpan("grandchild", child)
+	finGrand()
+	finChild()
+	finRoot()
+
+	spans := r.Snapshot().Spans
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	if byName["root"].Parent != 0 {
+		t.Errorf("root parent = %d, want 0", byName["root"].Parent)
+	}
+	if byName["child"].Parent != byName["root"].ID {
+		t.Errorf("child parent = %d, want root id %d", byName["child"].Parent, byName["root"].ID)
+	}
+	if byName["grandchild"].Parent != byName["child"].ID {
+		t.Errorf("grandchild parent = %d, want child id %d", byName["grandchild"].Parent, byName["child"].ID)
+	}
+	for _, name := range []string{"root", "child", "grandchild"} {
+		if byName[name].Worker != 3 {
+			t.Errorf("%s worker = %d, want inherited 3", name, byName[name].Worker)
+		}
+	}
+	// Snapshot sorts by start time: root opened first.
+	if spans[0].Name != "root" {
+		t.Errorf("first span by start = %q, want root", spans[0].Name)
+	}
+}
+
+// TestSpanDoubleFinish checks a finish func is idempotent.
+func TestSpanDoubleFinish(t *testing.T) {
+	r := New()
+	_, fin := r.StartSpan("once", nil)
+	fin()
+	fin()
+	if n := len(r.Snapshot().Spans); n != 1 {
+		t.Errorf("got %d records after double finish, want 1", n)
+	}
+}
+
+// TestSpanNilSafety checks the nil-registry contract for spans: nil handles
+// everywhere, nothing recorded, nothing panics.
+func TestSpanNilSafety(t *testing.T) {
+	var r *Registry
+	sp, fin := r.StartSpan("x", nil)
+	if sp != nil {
+		t.Error("nil registry should hand out a nil span")
+	}
+	sp.SetWorker(5)
+	child, finChild := r.StartSpan("y", sp)
+	child.SetWorker(1)
+	finChild()
+	fin()
+	if r.RecordSpan("z", nil, time.Now(), time.Second) != nil {
+		t.Error("nil registry RecordSpan should return nil")
+	}
+	if n := len(r.Snapshot().Spans); n != 0 {
+		t.Errorf("nil registry recorded %d spans", n)
+	}
+}
+
+// TestRecordSpan checks the retroactive form lands with the given interval
+// and is usable as a parent.
+func TestRecordSpan(t *testing.T) {
+	r := New()
+	start := time.Now()
+	parent := r.RecordSpan("build", nil, start, 7*time.Millisecond)
+	_, fin := r.StartSpan("solve", parent)
+	fin()
+	spans := r.Snapshot().Spans
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	if byName["build"].Dur != 7*time.Millisecond {
+		t.Errorf("build dur = %v, want 7ms", byName["build"].Dur)
+	}
+	if byName["solve"].Parent != byName["build"].ID {
+		t.Errorf("solve parent = %d, want build id", byName["solve"].Parent)
+	}
+}
+
+// TestChromeTrace checks the trace export is valid Chrome trace-event JSON:
+// an object with a traceEvents array of complete events carrying name, ph,
+// ts, dur, pid, and tid.
+func TestChromeTrace(t *testing.T) {
+	r := New()
+	root, finRoot := r.StartSpan("phase/outer", nil)
+	root.SetWorker(2)
+	_, finIn := r.StartSpan("phase/inner", root)
+	time.Sleep(time.Millisecond)
+	finIn()
+	finRoot()
+
+	data, err := r.Snapshot().ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var complete int
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph == "M" {
+			continue
+		}
+		complete++
+		if ph != "X" {
+			t.Errorf("event ph = %q, want X", ph)
+		}
+		for _, key := range []string{"name", "ts", "dur", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Errorf("event missing %q: %v", key, ev)
+			}
+		}
+	}
+	if complete != 2 {
+		t.Errorf("got %d complete events, want 2", complete)
+	}
+}
+
+// TestSpanTreeText checks the -metrics text rendering aggregates same-named
+// siblings under their parent with counts.
+func TestSpanTreeText(t *testing.T) {
+	r := New()
+	root, finRoot := r.StartSpan("artifact", nil)
+	for i := 0; i < 3; i++ {
+		_, fin := r.StartSpan("job", root)
+		fin()
+	}
+	finRoot()
+	text := r.Snapshot().Text()
+	if !strings.Contains(text, "spans:") {
+		t.Fatalf("Text() missing spans section:\n%s", text)
+	}
+	if !strings.Contains(text, "artifact") || !strings.Contains(text, "over 3 span(s)") {
+		t.Errorf("span tree does not aggregate 3 jobs under artifact:\n%s", text)
+	}
+	if strings.Index(text, "artifact") > strings.Index(text, "job") {
+		t.Errorf("child rendered before parent:\n%s", text)
+	}
+}
+
+// TestSpanHistogramRace hammers the new Span and Histogram instruments from
+// many goroutines, with concurrent snapshots, and checks exact counts
+// (run under -race in `make race`).
+func TestSpanHistogramRace(t *testing.T) {
+	r := New()
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			parent, finParent := r.StartSpan("worker", nil)
+			parent.SetWorker(w)
+			for i := 0; i < perWorker; i++ {
+				r.Histogram("h").Observe(int64(i))
+				_, fin := r.StartSpan("op", parent)
+				fin()
+			}
+			finParent()
+		}(w)
+	}
+	// Concurrent reader: snapshots while writers are live.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = r.Snapshot().Text()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Histogram("h").Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := len(r.Snapshot().Spans); got != workers*(perWorker+1) {
+		t.Errorf("span records = %d, want %d", got, workers*(perWorker+1))
+	}
+}

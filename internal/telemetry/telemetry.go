@@ -119,18 +119,28 @@ func (t *Timer) Count() int64 {
 // Registry holds named instruments. Instruments are created on first use and
 // live for the registry's lifetime; lookups after creation are read-locked.
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
+
+	// Span state: a monotonically increasing id, the time origin every
+	// exported span start is relative to, and the finished-span log.
+	spanID int64
+	epoch  time.Time
+	spanMu sync.Mutex
+	spans  []SpanRecord
 }
 
 // New returns an empty registry.
 func New() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		timers:   map[string]*Timer{},
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		timers:     map[string]*Timer{},
+		histograms: map[string]*Histogram{},
+		epoch:      time.Now(),
 	}
 }
 
@@ -195,6 +205,27 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns the named histogram, creating it on first use. A nil
+// registry returns a nil (inert) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // TimerStat is one timer's exported state.
 type TimerStat struct {
 	Count   int64         `json:"count"`
@@ -205,24 +236,26 @@ type TimerStat struct {
 // Snapshot is a point-in-time copy of every instrument, suitable for
 // rendering or serialization after the measured run completes.
 type Snapshot struct {
-	Counters map[string]int64     `json:"counters,omitempty"`
-	Gauges   map[string]int64     `json:"gauges,omitempty"`
-	Timers   map[string]TimerStat `json:"timers,omitempty"`
+	Counters   map[string]int64     `json:"counters,omitempty"`
+	Gauges     map[string]int64     `json:"gauges,omitempty"`
+	Timers     map[string]TimerStat `json:"timers,omitempty"`
+	Histograms map[string]HistStat  `json:"histograms,omitempty"`
+	Spans      []SpanRecord         `json:"spans,omitempty"`
 }
 
 // Snapshot copies the current instrument values. A nil registry yields an
 // empty snapshot.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		Counters: map[string]int64{},
-		Gauges:   map[string]int64{},
-		Timers:   map[string]TimerStat{},
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Timers:     map[string]TimerStat{},
+		Histograms: map[string]HistStat{},
 	}
 	if r == nil {
 		return s
 	}
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
 	}
@@ -237,60 +270,82 @@ func (r *Registry) Snapshot() Snapshot {
 			TotalMS: float64(total) / float64(time.Millisecond),
 		}
 	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.stat()
+	}
+	r.mu.RUnlock()
+	r.spanMu.Lock()
+	s.Spans = append([]SpanRecord(nil), r.spans...)
+	r.spanMu.Unlock()
+	sort.Slice(s.Spans, func(i, j int) bool {
+		if s.Spans[i].Start != s.Spans[j].Start {
+			return s.Spans[i].Start < s.Spans[j].Start
+		}
+		return s.Spans[i].ID < s.Spans[j].ID
+	})
 	return s
 }
 
-// Text renders the snapshot as aligned, name-sorted sections.
+// Text renders the snapshot as aligned, name-sorted sections, one per
+// instrument kind, followed by the aggregated span tree.
 func (s Snapshot) Text() string {
 	var b strings.Builder
 	b.WriteString("telemetry snapshot\n")
-	width := 0
-	for _, m := range []map[string]int64{s.Counters, s.Gauges} {
-		for name := range m {
-			if len(name) > width {
-				width = len(name)
-			}
-		}
-	}
-	for name := range s.Timers {
-		if len(name) > width {
-			width = len(name)
-		}
-	}
-	section := func(title string, m map[string]int64) {
-		if len(m) == 0 {
-			return
-		}
-		b.WriteString(title + ":\n")
-		for _, name := range sortedKeys(m) {
-			fmt.Fprintf(&b, "  %-*s %12d\n", width, name, m[name])
-		}
-	}
-	section("counters", s.Counters)
-	section("gauges", s.Gauges)
-	if len(s.Timers) > 0 {
-		b.WriteString("timers:\n")
-		names := make([]string, 0, len(s.Timers))
-		for name := range s.Timers {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			t := s.Timers[name]
-			fmt.Fprintf(&b, "  %-*s %12.3fms over %d call(s)\n", width, name, t.TotalMS, t.Count)
-		}
-	}
+	width := maxKeyWidth(keysOf(s.Counters), keysOf(s.Gauges), keysOf(s.Timers), keysOf(s.Histograms))
+	section(&b, "counters", width, keysOf(s.Counters), func(name string) string {
+		return fmt.Sprintf("%12d", s.Counters[name])
+	})
+	section(&b, "gauges", width, keysOf(s.Gauges), func(name string) string {
+		return fmt.Sprintf("%12d", s.Gauges[name])
+	})
+	section(&b, "timers", width, keysOf(s.Timers), func(name string) string {
+		t := s.Timers[name]
+		return fmt.Sprintf("%12.3fms over %d call(s)", t.TotalMS, t.Count)
+	})
+	section(&b, "histograms", width, keysOf(s.Histograms), func(name string) string {
+		h := s.Histograms[name]
+		return fmt.Sprintf("n=%d p50=%d p90=%d p99=%d max=%d mean=%.1f",
+			h.Count, h.P50, h.P90, h.P99, h.Max, h.Mean)
+	})
+	s.spanTree(&b)
 	return b.String()
 }
 
 // JSON renders the snapshot as indented JSON.
 func (s Snapshot) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
 
-func sortedKeys(m map[string]int64) []string {
+// section writes one titled, key-aligned block; empty sections are omitted.
+// All sections of a snapshot share one key width so values line up across
+// instrument kinds.
+func section(b *strings.Builder, title string, width int, names []string, value func(name string) string) {
+	if len(names) == 0 {
+		return
+	}
+	b.WriteString(title + ":\n")
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(b, "  %-*s %s\n", width, name, value(name))
+	}
+}
+
+// maxKeyWidth returns the longest name across the given key sets.
+func maxKeyWidth(keySets ...[]string) int {
+	width := 0
+	for _, keys := range keySets {
+		for _, name := range keys {
+			if len(name) > width {
+				width = len(name)
+			}
+		}
+	}
+	return width
+}
+
+// keysOf collects the keys of any string-keyed map.
+func keysOf[V any](m map[string]V) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)
 	}
-	sort.Strings(out)
 	return out
 }

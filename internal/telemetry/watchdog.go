@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Stall is the diagnosis a Watchdog delivers when every watched instrument
+// has been flat for the configured window.
+type Stall struct {
+	Quiet   time.Duration    // how long the watched values have been flat
+	Watched map[string]int64 // last observed value per watched instrument
+	Gauges  map[string]int64 // full gauge state at stall time (depths, sizes)
+}
+
+// Text renders the diagnosis as a single stderr-friendly paragraph.
+func (s Stall) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "watchdog: no progress for %s\n", s.Quiet.Round(time.Millisecond))
+	describe := func(title string, m map[string]int64) {
+		if len(m) == 0 {
+			return
+		}
+		names := keysOf(m)
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, n := range names {
+			parts = append(parts, fmt.Sprintf("%s=%d", n, m[n]))
+		}
+		fmt.Fprintf(&b, "  %s: %s\n", title, strings.Join(parts, " "))
+	}
+	describe("watched", s.Watched)
+	describe("gauges", s.Gauges)
+	return b.String()
+}
+
+// Watchdog samples a registry on an interval and reports a stall when none
+// of the watched instruments changes for a full window — the solver is
+// spinning (or wedged) without making progress. It fires once per stall and
+// re-arms as soon as progress resumes. The solver's live counters
+// (pointsto/progress/*) are the intended watch set; any counter, timer
+// count, or histogram count name works.
+type Watchdog struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewWatchdog starts the sampler goroutine. interval is how often to sample
+// (clamped to at least 1ms), window is how long the watched values must stay
+// flat before onStall fires. A nil registry (or empty watch list) returns a
+// nil Watchdog, whose Stop is a no-op.
+func NewWatchdog(r *Registry, interval, window time.Duration, watch []string, onStall func(Stall)) *Watchdog {
+	if r == nil || len(watch) == 0 || onStall == nil {
+		return nil
+	}
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	w := &Watchdog{stop: make(chan struct{}), done: make(chan struct{})}
+	go w.run(r, interval, window, watch, onStall)
+	return w
+}
+
+// Stop terminates the sampler and waits for it to exit. Safe on nil.
+func (w *Watchdog) Stop() {
+	if w == nil {
+		return
+	}
+	close(w.stop)
+	<-w.done
+}
+
+// sample reads the progress value of one watched name: a counter, plus the
+// observation counts of a same-named timer or histogram, so "progress" means
+// any new event under that name.
+func sample(r *Registry, name string) int64 {
+	return r.Counter(name).Value() + r.Timer(name).Count() + r.Histogram(name).Count()
+}
+
+func (w *Watchdog) run(r *Registry, interval, window time.Duration, watch []string, onStall func(Stall)) {
+	defer close(w.done)
+	last := make(map[string]int64, len(watch))
+	for _, name := range watch {
+		last[name] = sample(r, name)
+	}
+	lastProgress := time.Now()
+	fired := false
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-tick.C:
+		}
+		progressed := false
+		for _, name := range watch {
+			if v := sample(r, name); v != last[name] {
+				last[name] = v
+				progressed = true
+			}
+		}
+		if progressed {
+			lastProgress = time.Now()
+			fired = false
+			continue
+		}
+		if quiet := time.Since(lastProgress); !fired && quiet >= window {
+			fired = true
+			watched := make(map[string]int64, len(last))
+			for name, v := range last {
+				watched[name] = v
+			}
+			onStall(Stall{Quiet: quiet, Watched: watched, Gauges: r.Snapshot().Gauges})
+		}
+	}
+}
