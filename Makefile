@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json fuzz-smoke check
+.PHONY: all build test race vet bench bench-json bench-smoke fuzz-smoke check
 
 all: check
 
@@ -27,11 +27,19 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-## bench-json: solver-core delta ablation, exported machine-readable to
-## BENCH_solver.json (ns/op, allocs/op, and propagated-bit counts per
-## workload and propagation mode)
+## bench-json: solver-core ablation (full / delta / prep) over the paper apps
+## and the scaled randprog family, exported machine-readable to
+## BENCH_solver.json (ns/op, allocs/op, graph sizes, propagated-bit and
+## preprocessing counters per workload and mode)
 bench-json:
-	BENCH_JSON=BENCH_solver.json $(GO) test -run '^TestWriteBenchJSON$$' -v .
+	BENCH_JSON=BENCH_solver.json $(GO) test -run '^TestWriteBenchJSON$$' -timeout 30m -v .
+
+## bench-smoke: fast CI gate for the preprocessing pipeline — asserts prep
+## solves randprog-1k to the same fixpoint as the no-prep baseline while
+## merging nodes, then runs one timed iteration of the scaled benchmark
+bench-smoke:
+	$(GO) test -run '^TestScaledPrepSmoke$$' -v .
+	$(GO) test -run '^$$' -bench 'BenchmarkSolverPrep/randprog-1k' -benchtime 1x .
 
 ## fuzz-smoke: ~10s native-fuzz sanity pass over the model-based bitset
 ## fuzzer and the solver-equivalence fuzzer

@@ -40,17 +40,17 @@ func (a *Analysis) build() {
 			case *ir.Alloca:
 				o := a.newObject(ObjStack, in.Var, fn, in.ID, in.Ty)
 				a.objBySite[in.ID] = o
-				a.addToPts(a.regNode(fn, in.Dest), o.NodeBase, in.ID, -1, false)
+				a.addAddrOf(a.regNode(fn, in.Dest), o.NodeBase, in.ID)
 			case *ir.Malloc:
 				o := a.newObject(ObjHeap, "heap", fn, in.ID, in.SizeOf)
 				a.objBySite[in.ID] = o
-				a.addToPts(a.regNode(fn, in.Dest), o.NodeBase, in.ID, -1, false)
+				a.addAddrOf(a.regNode(fn, in.Dest), o.NodeBase, in.ID)
 			case *ir.AddrGlobal:
 				o := a.objByGlobal[in.Global]
-				a.addToPts(a.regNode(fn, in.Dest), o.NodeBase, in.ID, -1, false)
+				a.addAddrOf(a.regNode(fn, in.Dest), o.NodeBase, in.ID)
 			case *ir.AddrFunc:
 				o := a.objByFunc[in.Func]
-				a.addToPts(a.regNode(fn, in.Dest), o.NodeBase, in.ID, -1, false)
+				a.addAddrOf(a.regNode(fn, in.Dest), o.NodeBase, in.ID)
 			case *ir.Copy:
 				a.addCopy(a.regNode(fn, in.Src), a.regNode(fn, in.Dest), in.ID, -1, false)
 			case *ir.Load:
@@ -83,6 +83,15 @@ func (a *Analysis) build() {
 	if a.cfg.Ctx {
 		a.wireCtxCallsites()
 	}
+}
+
+// addAddrOf installs the primitive Addr-Of constraint {obj} ⊆ pts(n) and
+// records the raw fact for offline HVN hashing: once copy edges propagate
+// eagerly at build time, pts(n) no longer distinguishes a node's own Addr-Of
+// constraints from inherited ones.
+func (a *Analysis) addAddrOf(n, objNode, site int) {
+	a.addrFacts[int32(n)] = append(a.addrFacts[int32(n)], int32(objNode))
+	a.addToPts(n, objNode, site, -1, false)
 }
 
 // wireDirectCall connects actuals to formals and the return node to the

@@ -68,10 +68,11 @@ func fingerprint(r *Result) string {
 
 // solveVariant runs one configuration of the solver over a module and
 // returns the Result.
-func solveVariant(m *ir.Module, cfg invariant.Config, wave, delta bool) *Result {
+func solveVariant(m *ir.Module, cfg invariant.Config, wave, delta, prep bool) *Result {
 	a := New(m, cfg)
 	a.SetWave(wave)
 	a.SetDelta(delta)
+	a.SetPrep(prep)
 	return a.Solve()
 }
 
@@ -97,10 +98,10 @@ func oracleModules(t *testing.T) map[string]*ir.Module {
 	return mods
 }
 
-// TestDifferentialDeltaOracle asserts that delta propagation changes nothing
-// observable: for every module, strategy, and invariant configuration, the
-// delta solve fingerprints identically to the full-propagation solve (and to
-// the worklist solve, transitively pinning wave-vs-worklist equivalence).
+// TestDifferentialDeltaOracle asserts that no solver optimization changes
+// anything observable: for every module and invariant configuration, every
+// point of the {worklist, wave} x {delta on/off} x {prep on/off} strategy
+// cube fingerprints identically to the plain worklist+full+no-prep solve.
 func TestDifferentialDeltaOracle(t *testing.T) {
 	cfgs := map[string]invariant.Config{
 		"fallback":   {},
@@ -111,19 +112,20 @@ func TestDifferentialDeltaOracle(t *testing.T) {
 	for name, m := range oracleModules(t) {
 		for cfgName, cfg := range cfgs {
 			t.Run(name+"/"+cfgName, func(t *testing.T) {
-				ref := fingerprint(solveVariant(m, cfg, false, false))
-				for _, v := range []struct {
-					label       string
-					wave, delta bool
-				}{
-					{"worklist+delta", false, true},
-					{"wave+full", true, false},
-					{"wave+delta", true, true},
-				} {
-					got := fingerprint(solveVariant(m, cfg, v.wave, v.delta))
-					if got != ref {
-						t.Errorf("%s diverges from worklist+full reference:\n%s",
-							v.label, diffLines(ref, got))
+				ref := fingerprint(solveVariant(m, cfg, false, false, false))
+				for _, wave := range []bool{false, true} {
+					for _, delta := range []bool{false, true} {
+						for _, prep := range []bool{false, true} {
+							if !wave && !delta && !prep {
+								continue // the reference itself
+							}
+							label := fmt.Sprintf("wave=%v delta=%v prep=%v", wave, delta, prep)
+							got := fingerprint(solveVariant(m, cfg, wave, delta, prep))
+							if got != ref {
+								t.Errorf("%s diverges from worklist+full+no-prep reference:\n%s",
+									label, diffLines(ref, got))
+							}
+						}
 					}
 				}
 			})
@@ -139,8 +141,11 @@ func TestDifferentialIncrementalOracle(t *testing.T) {
 	for name, m := range oracleModules(t) {
 		t.Run(name, func(t *testing.T) {
 			for _, wave := range []bool{false, true} {
-				full := solveVariant(m, invariant.All(), wave, false)
-				delta := solveVariant(m, invariant.All(), wave, true)
+				// The reference runs full propagation without preprocessing;
+				// the candidate enables both delta and prep, so the restore
+				// sequence exercises re-solving on a prep-merged graph.
+				full := solveVariant(m, invariant.All(), wave, false, false)
+				delta := solveVariant(m, invariant.All(), wave, true, true)
 				if got, want := fingerprint(delta), fingerprint(full); got != want {
 					t.Fatalf("wave=%v: pre-restore divergence:\n%s", wave, diffLines(want, got))
 				}

@@ -10,18 +10,23 @@ import (
 
 // FuzzSolverEquivalence drives the differential oracle from fuzz-generated
 // mini-C programs: for a random well-formed module, every iteration strategy
-// (worklist, wave) and propagation mode (delta, full) must produce an
-// identical Result, under the invariant configuration selected by cfgBits.
-// The generator (workload.RandomProgram) emits the pointer-analysis-relevant
-// constructs — multi-level pointers, struct fields holding function pointers,
-// heap wrappers, arbitrary arithmetic, indirect calls — so the fuzzer
-// explores solver interleavings the hand-written fixtures do not pin down.
+// (worklist, wave), propagation mode (delta, full), and preprocessing mode
+// (prep on/off) must produce an identical Result, under the invariant
+// configuration selected by cfgBits. The generator (workload.RandomProgram)
+// emits the pointer-analysis-relevant constructs — multi-level pointers,
+// struct fields holding function pointers, heap wrappers, arbitrary
+// arithmetic, indirect calls — so the fuzzer explores solver interleavings
+// the hand-written fixtures do not pin down.
 func FuzzSolverEquivalence(f *testing.F) {
 	f.Add(int64(1), uint8(0))
 	f.Add(int64(2), uint8(7))
 	f.Add(int64(1337), uint8(1))
 	f.Add(int64(-99), uint8(2))
 	f.Add(int64(424242), uint8(4))
+	// Seed 11 generates a program whose *pp store/load traffic merges nodes
+	// in the offline prep stage (a prep-merged cycle), pinning the prep-on
+	// variants to corpus coverage from the first run.
+	f.Add(int64(11), uint8(3))
 	f.Fuzz(func(t *testing.T, seed int64, cfgBits uint8) {
 		src := workload.RandomProgram(seed)
 		m, err := minic.Compile("fuzz", src)
@@ -33,16 +38,19 @@ func FuzzSolverEquivalence(f *testing.F) {
 			PWC: cfgBits&2 != 0,
 			Ctx: cfgBits&4 != 0,
 		}
-		ref := fingerprint(solveVariant(m, cfg, false, false))
+		ref := fingerprint(solveVariant(m, cfg, false, false, false))
 		for _, v := range []struct {
-			label       string
-			wave, delta bool
+			label             string
+			wave, delta, prep bool
 		}{
-			{"worklist+delta", false, true},
-			{"wave+full", true, false},
-			{"wave+delta", true, true},
+			{"worklist+delta", false, true, false},
+			{"wave+full", true, false, false},
+			{"wave+delta", true, true, false},
+			{"worklist+full+prep", false, false, true},
+			{"worklist+delta+prep", false, true, true},
+			{"wave+delta+prep", true, true, true},
 		} {
-			if got := fingerprint(solveVariant(m, cfg, v.wave, v.delta)); got != ref {
+			if got := fingerprint(solveVariant(m, cfg, v.wave, v.delta, v.prep)); got != ref {
 				t.Errorf("seed %d cfg %+v: %s diverges from worklist+full:\n%s",
 					seed, cfg, v.label, diffLines(ref, got))
 			}

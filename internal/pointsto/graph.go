@@ -1,6 +1,7 @@
 package pointsto
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bitset"
@@ -79,6 +80,10 @@ type Stats struct {
 	DeltaFlushes   int // full-set flushes seeded by new edges / SCC merges / Restore
 	BitsPropagated int // pointee bits consumed by processNode visits
 	BitsAvoided    int // pointee bits a full re-propagation would have re-consumed
+	PrepMerged     int // nodes merged offline by HVN variable substitution
+	PrepDeferred   int // offline merges skipped to respect the PWC policy
+	HCDCollapses   int // nodes merged online by hybrid cycle detection
+	LCDCollapses   int // nodes merged by the lazy-cycle-detection fallback
 }
 
 // GrowthEvent describes one points-to set update (§4.1 introspection).
@@ -157,6 +162,19 @@ type Analysis struct {
 	naive      bool            // skip copy-cycle collapse (ablation)
 	wave       bool            // use wave propagation instead of the plain worklist
 	noDelta    bool            // disable difference propagation (differential-oracle ablation)
+	deltaMode  uint8           // deltaAuto (resolved at first solve) / deltaOn / deltaOff
+
+	// Offline preprocessing (prep.go / hcd.go): HVN variable substitution and
+	// hybrid cycle detection run once, lazily, at the first resolve — after
+	// every Set* option but before any propagation. addrFacts records the
+	// primitive Addr-Of constraints per node (build-time pts is already
+	// polluted by eager copy propagation, so HVN hashing needs the raw facts).
+	prep       bool
+	prepDone   bool
+	addrFacts  map[int32][]int32
+	hcdEntries []hcdEntry
+	hcdAt      [][]int32        // rep node -> indexes into hcdEntries
+	lcdSeen    map[edgeKey]bool // copy edges already probed by the LCD fallback
 
 	stats   Stats
 	flushed Stats               // stats already exported to metrics
@@ -184,14 +202,58 @@ type Analysis struct {
 // identical, only solve cost changes. Must be called before Solve.
 func (a *Analysis) SetNaive(naive bool) { a.naive = naive }
 
-// SetDelta toggles difference (delta) propagation. It is on by default:
-// every node tracks the pointees added since its last processing, and
-// constraint processing consumes only that delta, with new edges, SCC
-// merges, and incremental Restores seeding full-set flushes. Disabling it
-// reverts to full re-propagation on every visit — results are identical
-// (asserted by the differential oracle tests); only solve cost changes.
-// Must be called before Solve.
-func (a *Analysis) SetDelta(on bool) { a.noDelta = !on }
+// Delta-propagation modes. The default is auto: difference propagation pays
+// per-node bookkeeping that only amortizes once sets are re-propagated many
+// times, so on graphs below DeltaAutoThreshold nodes the solver silently
+// falls back to full re-propagation (BENCH_solver.json showed delta at
+// 0.87–0.99x full speed on every sub-millisecond app).
+const (
+	deltaAuto uint8 = iota
+	deltaOn
+	deltaOff
+)
+
+// DeltaAutoThreshold is the node count below which delta-propagation auto
+// mode disables per-node delta bookkeeping.
+const DeltaAutoThreshold = 2048
+
+// SetDelta toggles difference (delta) propagation explicitly, overriding the
+// default auto mode (see DeltaAutoThreshold). When on, every node tracks the
+// pointees added since its last processing, and constraint processing
+// consumes only that delta, with new edges, SCC merges, and incremental
+// Restores seeding full-set flushes. When off, the solver re-consumes the
+// full set on every visit — results are identical (asserted by the
+// differential oracle tests); only solve cost changes. Must be called before
+// Solve.
+func (a *Analysis) SetDelta(on bool) {
+	if on {
+		a.deltaMode = deltaOn
+	} else {
+		a.deltaMode = deltaOff
+	}
+	a.noDelta = !on
+}
+
+// SetPrep toggles offline constraint preprocessing (HVN variable substitution
+// plus hybrid cycle detection, see prep.go/hcd.go) for this analysis,
+// overriding the package default. Results are identical either way — merges
+// that could interact with the PWC policy are deferred — only solve cost
+// changes. Must be called before Solve.
+func (a *Analysis) SetPrep(on bool) { a.prep = on }
+
+// defaultPrep is the package-wide preprocessing default, read by New. It
+// exists because pipeline entry points (internal/core) construct analyses
+// without exposing solver knobs; tests and benchmarks that need a no-prep
+// baseline either call SetPrep on the analysis or flip the default around a
+// region with SetDefaultPrep.
+var defaultPrep atomic.Bool
+
+func init() { defaultPrep.Store(true) }
+
+// SetDefaultPrep sets the package-wide default for offline constraint
+// preprocessing (on unless changed) and returns the previous value, so
+// callers can restore it.
+func SetDefaultPrep(on bool) bool { return defaultPrep.Swap(on) }
 
 // New builds the constraint graph for m under cfg. Call Solve to run the
 // analysis.
@@ -211,7 +273,9 @@ func New(m *ir.Module, cfg invariant.Config) *Analysis {
 		pwcRecords:  map[string]bool{},
 		paDisabled:  map[int]bool{},
 		pwcDone:     map[int]bool{},
+		addrFacts:   map[int32][]int32{},
 	}
+	a.prep = defaultPrep.Load()
 	a.buildStart = time.Now()
 	a.build()
 	a.buildDur = time.Since(a.buildStart)
@@ -504,20 +568,30 @@ func (a *Analysis) addArith(base, dest, site int) {
 	a.seedDelta(base)
 }
 
-// union merges node b into node a (both resolved to reps), combining
-// points-to sets and adjacency, and reschedules the survivor. The survivor's
-// delta is re-seeded with the merged full set: x's old edges never saw
-// pts(y), y's old edges never saw pts(x), and after the merge both edge
-// lists face the combined set, so per-edge bookkeeping would be needed to
-// flush anything less. Merges are rare relative to propagation, so the
-// full flush is the right trade.
+// union merges node y into node x for online cycle collapse, counting the
+// merge as an SCC collapse. Offline preprocessing and the HCD/LCD paths call
+// mergeNodes directly so each mechanism's merges are attributed to its own
+// stat.
 func (a *Analysis) union(x, y int) {
+	if a.mergeNodes(x, y) {
+		a.stats.SCCCollapses++
+	}
+}
+
+// mergeNodes merges node y into node x (resolving both to reps first),
+// combining points-to sets and adjacency, and reschedules the survivor. It
+// reports whether a merge actually happened. The survivor's delta is
+// re-seeded with the merged full set: x's old edges never saw pts(y), y's
+// old edges never saw pts(x), and after the merge both edge lists face the
+// combined set, so per-edge bookkeeping would be needed to flush anything
+// less. Merges are rare relative to propagation, so the full flush is the
+// right trade.
+func (a *Analysis) mergeNodes(x, y int) bool {
 	x, y = a.find(x), a.find(y)
 	if x == y {
-		return
+		return false
 	}
 	a.rep[y] = int32(x)
-	a.stats.SCCCollapses++
 	if a.pts[y] != nil {
 		a.ptsOf(x).UnionWith(a.pts[y])
 		a.pts[y] = nil
@@ -535,5 +609,10 @@ func (a *Analysis) union(x, y int) {
 	a.arithTo[y] = nil
 	a.icallsAt[x] = append(a.icallsAt[x], a.icallsAt[y]...)
 	a.icallsAt[y] = nil
+	if a.hcdAt != nil {
+		a.hcdAt[x] = append(a.hcdAt[x], a.hcdAt[y]...)
+		a.hcdAt[y] = nil
+	}
 	a.seedDelta(x)
+	return true
 }

@@ -1,0 +1,247 @@
+package pointsto
+
+// Hybrid cycle detection (Hardekopf & Lin, "The Ant and the Grasshopper"):
+// the expensive part of online cycle detection is *finding* cycles that pass
+// through memory — a load t = *s and a store *s = t close a copy cycle only
+// once the solver learns what s points to. HCD finds those cycles offline on
+// a graph that adds a "ref" node *s per dereferenced pointer: a load t = *s
+// contributes ref(s) -> t, a store *s = v contributes v -> ref(s), and copy
+// edges carry over. Any offline SCC mixing a ref node with regular nodes
+// means: as soon as an object o enters pts(s), the online graph closes a
+// copy cycle through o and the SCC's regular members. The solver therefore
+// collapses them in O(1) at pointee-insertion time (hcdFire), with no graph
+// traversal.
+//
+// Cycles HCD's offline graph cannot predict (they need two levels of
+// indirection to materialize) are caught by a lazy-cycle-detection fallback:
+// when copy propagation hits an edge whose target already has every pointee
+// (a propagation miss), a bounded DFS probes for a copy cycle through that
+// edge, once per edge. Whatever both miss still falls to the per-round
+// sccPass, which also remains the sole discoverer of positive-weight cycles,
+// so PWC records are identical with preprocessing on or off.
+
+// hcdEntry is one offline SCC that mixes ref and regular nodes: when any
+// object lands in the points-to set of a node carrying this entry, the
+// regular members and the object collapse into target.
+type hcdEntry struct {
+	target  int32   // surviving node (lowest regular member id)
+	members []int32 // regular members, merged into target on first fire
+	fired   bool
+}
+
+// offlineHCD builds the offline ref graph over current representatives and
+// records, per dereferenced pointer, the SCC collapse its future pointees
+// will trigger. Runs once, after offlineSubstitute.
+func (a *Analysis) offlineHCD() {
+	n := len(a.nodes)
+	// Ids: [0,n) regular nodes, [n,2n) ref nodes (ref(v) = n+v), built only
+	// for reps with load/store constraints.
+	adj := make([][]int32, 2*n)
+	for v := 0; v < n; v++ {
+		if a.find(v) != v {
+			continue
+		}
+		for _, t := range a.copyTo[v] {
+			if w := a.find(int(t)); w != v {
+				adj[v] = append(adj[v], int32(w))
+			}
+		}
+		for _, e := range a.loadTo[v] {
+			adj[n+v] = append(adj[n+v], int32(a.find(int(e.other))))
+		}
+		for _, e := range a.storeFrom[v] {
+			adj[a.find(int(e.other))] = append(adj[a.find(int(e.other))], int32(n+v))
+		}
+	}
+	sccs := sccOf(adj)
+	a.hcdAt = make([][]int32, n)
+	for _, scc := range sccs {
+		if len(scc) < 2 {
+			continue
+		}
+		var regs, refs []int32
+		for _, id := range scc {
+			if int(id) < n {
+				regs = append(regs, id)
+			} else {
+				refs = append(refs, id-int32(n))
+			}
+		}
+		if len(regs) == 0 || len(refs) == 0 {
+			// Pure copy SCCs were already collapsed by HVN; pure ref SCCs
+			// carry no merge by themselves.
+			continue
+		}
+		target := regs[0]
+		for _, r := range regs[1:] {
+			if r < target {
+				target = r
+			}
+		}
+		idx := int32(len(a.hcdEntries))
+		a.hcdEntries = append(a.hcdEntries, hcdEntry{target: target, members: regs})
+		for _, r := range refs {
+			a.hcdAt[r] = append(a.hcdAt[r], idx)
+		}
+	}
+}
+
+// hcdFire runs the recorded offline collapses for node v: every object slot
+// in elems (v's pending pointees) closes the offline-predicted cycle, so the
+// entry's regular members and the object's rep merge into the entry target.
+// Merges reschedule the survivor with a full-set flush (mergeNodes), so no
+// derived fact is lost even when v itself is merged away mid-processing.
+func (a *Analysis) hcdFire(v int, elems []int) {
+	for _, ei := range a.hcdAt[v] {
+		e := &a.hcdEntries[ei]
+		t := a.find(int(e.target))
+		merged := 0
+		if !e.fired {
+			e.fired = true
+			for _, m := range e.members {
+				if a.mergeNodes(t, int(m)) {
+					a.stats.HCDCollapses++
+					merged++
+				}
+				t = a.find(t)
+			}
+		}
+		for _, o := range elems {
+			if a.nodes[o].kind != nodeObj {
+				continue
+			}
+			if a.mergeNodes(t, a.find(o)) {
+				a.stats.HCDCollapses++
+				merged++
+			}
+			t = a.find(t)
+		}
+		if merged > 0 && a.tracer != nil {
+			a.tracer.Cycle(merged+1, false)
+		}
+	}
+}
+
+// LCD fallback bounds: one probe per copy edge, each walking at most
+// lcdBudget nodes of the condensed copy graph.
+const lcdBudget = 256
+
+// lcdProbe is the lazy-cycle-detection fallback: copy propagation from src
+// across edge src->dst added nothing, which is how cycle members behave once
+// their sets converge. A bounded DFS over copy edges looks for a path back
+// from dst to src; on a hit the whole path is one copy cycle and collapses
+// immediately instead of waiting for the next whole-graph sccPass. Each edge
+// is probed at most once.
+func (a *Analysis) lcdProbe(src, dst int) {
+	if dst == src {
+		return
+	}
+	k := edgeKey{int32(src), int32(dst)}
+	if a.lcdSeen[k] {
+		return
+	}
+	a.lcdSeen[k] = true
+	// DFS from dst over representative copy edges, searching for src.
+	prev := map[int]int{dst: -1}
+	stack := []int{dst}
+	budget := lcdBudget
+	for len(stack) > 0 && budget > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		budget--
+		for _, t := range a.copyTo[v] {
+			w := a.find(int(t))
+			if w == src {
+				// Collapse the cycle src -> dst -> ... -> v -> src.
+				merged := 0
+				for u := v; u != -1; u = prev[u] {
+					if a.mergeNodes(src, u) {
+						a.stats.LCDCollapses++
+						merged++
+					}
+					src = a.find(src)
+				}
+				if merged > 0 && a.tracer != nil {
+					a.tracer.Cycle(merged+1, false)
+				}
+				return
+			}
+			if _, seen := prev[w]; !seen && w != v {
+				prev[w] = v
+				stack = append(stack, w)
+			}
+		}
+	}
+}
+
+// sccOf computes SCCs of an explicit adjacency list (iterative Tarjan),
+// returning only components of size >= 2.
+func sccOf(adj [][]int32) [][]int32 {
+	n := len(adj)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int32
+	var sccs [][]int32
+	next := int32(0)
+	type frame struct {
+		v int
+		i int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames := []frame{{v: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(adj[f.v]) {
+				w := int(adj[f.v][f.i])
+				f.i++
+				if w == f.v {
+					continue
+				}
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, int32(w))
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			if low[f.v] == index[f.v] {
+				var scc []int32
+				for {
+					w := int(stack[len(stack)-1])
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, int32(w))
+					if w == f.v {
+						break
+					}
+				}
+				if len(scc) > 1 {
+					sccs = append(sccs, scc)
+				}
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[f.v] < low[p.v] {
+					low[p.v] = low[f.v]
+				}
+			}
+		}
+	}
+	return sccs
+}

@@ -135,6 +135,9 @@ func (a *Analysis) newNode(n node) int {
 	a.storeFrom = append(a.storeFrom, nil)
 	a.arithTo = append(a.arithTo, nil)
 	a.icallsAt = append(a.icallsAt, nil)
+	if a.hcdAt != nil {
+		a.hcdAt = append(a.hcdAt, nil)
+	}
 	return id
 }
 

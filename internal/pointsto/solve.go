@@ -27,6 +27,19 @@ func (a *Analysis) resolve() {
 		a.buildEmitted = true
 		a.metrics.RecordSpan("pointsto/build", a.parentSpan, a.buildStart, a.buildDur)
 	}
+	if !a.prepDone {
+		// First resolve: every Set* option is final now. Settle the delta
+		// auto mode, then run offline preprocessing (skipped under the naive
+		// ablation, whose point is to measure the solver without any cycle
+		// elimination).
+		a.prepDone = true
+		if a.deltaMode == deltaAuto {
+			a.noDelta = len(a.nodes) < DeltaAutoThreshold
+		}
+		if a.prep && !a.naive {
+			a.runPrep()
+		}
+	}
 	solveSpan, finishSolve := a.metrics.StartSpan("pointsto/solve", a.parentSpan)
 	stop := a.metrics.Timer("pointsto/phase/solve").Start()
 	if a.wave {
@@ -100,6 +113,10 @@ func (a *Analysis) flushMetrics() {
 	m.Counter("pointsto/pwc/cycles").Add(int64(d.PWCs - prev.PWCs))
 	m.Counter("pointsto/field/collapses").Add(int64(d.FieldCollapses - prev.FieldCollapses))
 	m.Counter("pointsto/wave/rounds").Add(int64(d.Waves - prev.Waves))
+	m.Counter("pointsto/prep/merged-nodes").Add(int64(d.PrepMerged - prev.PrepMerged))
+	m.Counter("pointsto/prep/deferred-merges").Add(int64(d.PrepDeferred - prev.PrepDeferred))
+	m.Counter("pointsto/hcd/online-collapses").Add(int64(d.HCDCollapses - prev.HCDCollapses))
+	m.Counter("pointsto/lcd/collapsed-nodes").Add(int64(d.LCDCollapses - prev.LCDCollapses))
 	m.Counter("pointsto/delta/flushes").Add(int64(d.DeltaFlushes - prev.DeltaFlushes))
 	m.Counter("pointsto/delta/bits-propagated").Add(int64(d.BitsPropagated - prev.BitsPropagated))
 	m.Counter("pointsto/delta/full-bits-avoided").Add(int64(d.BitsAvoided - prev.BitsAvoided))
@@ -165,6 +182,15 @@ func (a *Analysis) processNode(n int) {
 		return
 	}
 	elems := work.Elements()
+	if a.hcdAt != nil && len(a.hcdAt[n]) > 0 {
+		// Hybrid cycle detection: new pointees of n close offline-predicted
+		// copy cycles; collapse them now, in O(members), instead of waiting
+		// for the next whole-graph sccPass. This may merge n itself away —
+		// safe, because the merge moves n's adjacency to the survivor and
+		// re-seeds it with the combined full set, so the (now empty) edge
+		// lists below simply have nothing left to do.
+		a.hcdFire(n, elems)
+	}
 	for _, e := range a.gepTo[n] {
 		to := a.find(int(e.to))
 		for _, o := range elems {
@@ -201,7 +227,11 @@ func (a *Analysis) processNode(n int) {
 		a.connectICall(n, s, elems)
 	}
 	for _, to := range a.copyTo[n] {
-		a.unionSetInto(int(to), work, n, 0, false)
+		if !a.unionSetInto(int(to), work, n, 0, false) && a.lcdSeen != nil {
+			// Propagation miss: the target already had every pending pointee,
+			// the signature of a converged copy cycle. Probe lazily for one.
+			a.lcdProbe(n, a.find(int(to)))
+		}
 	}
 }
 

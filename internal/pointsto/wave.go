@@ -63,35 +63,49 @@ func (a *Analysis) topoOrder() []int {
 	state := make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
 	order := make([]int, 0, n)
 
+	// Successors are iterated lazily per frame (ci walks copyTo, gi walks
+	// gepTo) instead of materializing a fresh slice per node per wave, and
+	// nextSucc skips targets whose raw id is already finished before paying
+	// for the union-find resolution.
 	type frame struct {
-		v     int
-		succs []int
-		i     int
+		v      int
+		ci, gi int
 	}
-	succ := func(v int) []int {
-		var out []int
-		for _, t := range a.copyTo[v] {
-			out = append(out, a.find(int(t)))
+	nextSucc := func(f *frame) int {
+		for copies := a.copyTo[f.v]; f.ci < len(copies); {
+			t := int(copies[f.ci])
+			f.ci++
+			if state[t] == 2 {
+				continue
+			}
+			if w := a.find(t); state[w] != 2 {
+				return w
+			}
 		}
-		for _, e := range a.gepTo[v] {
-			out = append(out, a.find(int(e.to)))
+		for geps := a.gepTo[f.v]; f.gi < len(geps); {
+			t := int(geps[f.gi].to)
+			f.gi++
+			if state[t] == 2 {
+				continue
+			}
+			if w := a.find(t); state[w] != 2 {
+				return w
+			}
 		}
-		return out
+		return -1
 	}
 	for root := 0; root < n; root++ {
 		if a.find(root) != root || state[root] != 0 {
 			continue
 		}
-		frames := []frame{{v: root, succs: succ(root)}}
+		frames := []frame{{v: root}}
 		state[root] = 1
 		for len(frames) > 0 {
 			f := &frames[len(frames)-1]
-			if f.i < len(f.succs) {
-				w := f.succs[f.i]
-				f.i++
+			if w := nextSucc(f); w >= 0 {
 				if state[w] == 0 {
 					state[w] = 1
-					frames = append(frames, frame{v: w, succs: succ(w)})
+					frames = append(frames, frame{v: w})
 				}
 				continue
 			}

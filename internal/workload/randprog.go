@@ -83,6 +83,77 @@ func (g *progGen) generate() string {
 	return g.b.String()
 }
 
+// ScaledProgram generates a deterministic MiniC program whose constraint
+// graph scales linearly with units, for solver benchmarking (the nine paper
+// apps all solve in under a millisecond, too small to differentiate solver
+// strategies). Each unit is a function full of pointer traffic in the shapes
+// the solver optimizations target — local-variable assignment cycles (which
+// MiniC compiles to store/load cycles through memory: hybrid-cycle-detection
+// fodder), straight copy chains through parameters and returns (offline
+// variable-substitution fodder), and a sprinkling of struct callbacks,
+// indirect calls, and arbitrary arithmetic so the invariant policies stay
+// exercised. main threads a pointer through every unit in runs of chainLen,
+// so points-to sets stay bounded while every unit's constraints feed the
+// next.
+func ScaledProgram(seed int64, units int) string {
+	r := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+
+	const nShared = 8
+	b.WriteString("struct SC { int* fa; int* fb; fn cb; }\n")
+	for i := 0; i < nShared; i++ {
+		fmt.Fprintf(&b, "int sg%d;\n", i)
+	}
+	b.WriteString("int sa0[8];\nint sa1[8];\n")
+	b.WriteString("SC reg0;\nSC reg1;\nSC reg2;\nSC reg3;\n")
+	for f := 0; f < 4; f++ {
+		fmt.Fprintf(&b, "int scb%d(int* p) { return %d; }\n", f, f+1)
+	}
+	b.WriteString("void sput(SC* s, int* v) { s->fa = v; }\n")
+
+	for u := 0; u < units; u++ {
+		fmt.Fprintf(&b, "int gu%d;\n", u)
+		fmt.Fprintf(&b, "int* unit%d(int* x) {\n", u)
+		b.WriteString("  int* a;\n  int* b;\n  int* c;\n  int** s;\n  int t;\n")
+		// A memory copy cycle a -> b -> c -> a (flow-insensitive, so no loop
+		// needed) plus a double-indirection knot through s.
+		b.WriteString("  a = x;\n  b = a;\n  c = b;\n  a = c;\n")
+		b.WriteString("  s = &a;\n  *s = b;\n  c = *s;\n")
+		fmt.Fprintf(&b, "  b = &gu%d;\n", u)
+		switch u % 8 {
+		case 0:
+			// Callback registration and indirect call through a shared
+			// struct registry.
+			fmt.Fprintf(&b, "  sput(&reg%d, b);\n", r.Intn(4))
+			fmt.Fprintf(&b, "  reg%d.cb = &scb%d;\n", r.Intn(4), r.Intn(4))
+			fmt.Fprintf(&b, "  t = reg%d.cb(b);\n", r.Intn(4))
+		case 3:
+			// Arbitrary arithmetic within array bounds (PA policy traffic).
+			fmt.Fprintf(&b, "  c = sa%d;\n  t = input();\n  *(c + t %% 8) = t;\n", r.Intn(2))
+			fmt.Fprintf(&b, "  c = &gu%d;\n", u)
+		default:
+			// Extra copy chain (variable substitution collapses it).
+			fmt.Fprintf(&b, "  c = b;\n  b = c;\n  c = &sg%d;\n", r.Intn(nShared))
+		}
+		b.WriteString("  if (input() % 2 == 0) {\n    c = x;\n  }\n")
+		b.WriteString("  return c;\n}\n")
+	}
+
+	// The spine: thread a pointer through every unit, restarting the chain
+	// every chainLen hops so points-to sets stay bounded.
+	const chainLen = 12
+	b.WriteString("int main() {\n  int* p;\n")
+	fmt.Fprintf(&b, "  p = &sg0;\n")
+	for u := 0; u < units; u++ {
+		if u > 0 && u%chainLen == 0 {
+			fmt.Fprintf(&b, "  p = &sg%d;\n", r.Intn(nShared))
+		}
+		fmt.Fprintf(&b, "  p = unit%d(p);\n", u)
+	}
+	b.WriteString("  output(*p);\n  return 0;\n}\n")
+	return b.String()
+}
+
 // stmt emits one random statement over the fixed variable vocabulary.
 func (g *progGen) stmt() {
 	switch g.r.Intn(12) {

@@ -92,9 +92,59 @@ func Apps() []*App {
 	}
 }
 
-// ByName returns the named application or nil.
+// Scaled benchmark family: synthetic programs whose constraint graphs are
+// 100-1000x the paper apps' (every paper app solves in under a millisecond,
+// far too small to differentiate solver strategies). Unit counts are
+// calibrated so the analysis graph lands near the named node count; the
+// scaled_test.go node-count test keeps the calibration honest. Sources are
+// memoized — the 100k tier is ~150k lines of MiniC.
+var (
+	scaledOnce sync.Once
+	scaledSrcs [3]string
+)
+
+func scaledSources() [3]string {
+	scaledOnce.Do(func() {
+		scaledSrcs[0] = ScaledProgram(1001, 34)
+		scaledSrcs[1] = ScaledProgram(1002, 340)
+		scaledSrcs[2] = ScaledProgram(1003, 3400)
+	})
+	return scaledSrcs
+}
+
+// ScaledApps returns the scaled solver-benchmark family (randprog-1k/10k/
+// 100k, named for approximate constraint-graph node counts). These are
+// deliberately NOT part of Apps(): the paper's evaluation matrix, golden
+// artifacts, and fuzzing campaign cover exactly the nine Table 2 apps.
+func ScaledApps() []*App {
+	srcs := scaledSources()
+	mk := func(name, descr string, src string) *App {
+		return &App{
+			Name:   name,
+			Descr:  descr,
+			Source: src,
+			Requests: func(n int, seed int64) []int64 {
+				return stdRequests(n, seed, 1, func(r *rand.Rand, out []int64) {
+					out[0] = r.Int63n(16)
+				})
+			},
+			FuzzSeeds: [][]int64{{1, 0}},
+		}
+	}
+	return []*App{
+		mk("randprog-1k", "scaled synthetic program, ~1k constraint nodes", srcs[0]),
+		mk("randprog-10k", "scaled synthetic program, ~10k constraint nodes", srcs[1]),
+		mk("randprog-100k", "scaled synthetic program, ~100k constraint nodes", srcs[2]),
+	}
+}
+
+// AllApps returns the nine paper apps followed by the scaled benchmark
+// family.
+func AllApps() []*App { return append(Apps(), ScaledApps()...) }
+
+// ByName returns the named application (paper or scaled) or nil.
 func ByName(name string) *App {
-	for _, a := range Apps() {
+	for _, a := range AllApps() {
 		if a.Name == name {
 			return a
 		}

@@ -1,0 +1,66 @@
+package repro
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/invariant"
+	"repro/internal/pointsto"
+	"repro/internal/workload"
+)
+
+// TestScaledPrepSmoke is the CI bench-smoke gate: on the smallest scaled
+// workload it checks that offline preprocessing actually does work (merges
+// nodes, saves sccPass sweeps) and that the solved points-to relation is
+// observably identical to the no-prep baseline. The timing claims live in
+// the opt-in benchmarks; this test pins the correctness and do-something
+// halves of the tentpole so a regression fails fast on every push.
+func TestScaledPrepSmoke(t *testing.T) {
+	m := workload.ByName("randprog-1k").MustModule()
+	solve := func(prep bool) (*pointsto.Result, pointsto.Stats) {
+		a := pointsto.New(m, invariant.All())
+		a.SetPrep(prep)
+		r := a.Solve()
+		return r, r.Stats()
+	}
+	rOn, sOn := solve(true)
+	rOff, sOff := solve(false)
+
+	if sOn.PrepMerged == 0 {
+		t.Errorf("prep merged no nodes offline on randprog-1k: %+v", sOn)
+	}
+	if sOn.HCDCollapses == 0 {
+		t.Errorf("hybrid cycle detection fired no online collapses: %+v", sOn)
+	}
+	if sOn.SCCPasses > sOff.SCCPasses {
+		t.Errorf("prep ran %d sccPass sweeps, no-prep %d — prep must not add sweeps",
+			sOn.SCCPasses, sOff.SCCPasses)
+	}
+	if sOn.Iterations >= sOff.Iterations {
+		t.Errorf("prep popped %d worklist items, no-prep %d — the merged graph should be cheaper",
+			sOn.Iterations, sOff.Iterations)
+	}
+
+	if on, off := observableFacts(rOn), observableFacts(rOff); on != off {
+		t.Errorf("prep changed the solved relation:\n--- no-prep\n%s\n--- prep\n%s", off, on)
+	}
+}
+
+// observableFacts renders the externally visible fixpoint — every top-level
+// pointer's set size plus every indirect-call site's resolved targets — as a
+// canonical string for equality comparison across solver configurations.
+func observableFacts(r *pointsto.Result) string {
+	var lines []string
+	for _, p := range r.TopLevelPointers() {
+		lines = append(lines, fmt.Sprintf("ptr %s.%s = %d", p.Fn, p.Reg, r.SizeOf(p)))
+	}
+	for _, site := range r.ICallSites() {
+		targets := r.CallTargets(site)
+		sort.Strings(targets)
+		lines = append(lines, fmt.Sprintf("icall %d -> %s", site, strings.Join(targets, ",")))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
