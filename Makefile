@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-smoke fuzz-smoke check
+.PHONY: all build test race vet bench bench-json bench-smoke fuzz-smoke chaos-smoke check
 
 all: check
 
@@ -15,9 +15,10 @@ build:
 test:
 	$(GO) test ./...
 
-## race: race-detect the concurrent packages (worker pool, telemetry)
+## race: race-detect the concurrent packages (worker pool, telemetry,
+## switcher/monitor runtime, interpreter, solver, chaos harness)
 race:
-	$(GO) test -race ./internal/runner ./internal/telemetry
+	$(GO) test -race ./internal/runner ./internal/telemetry ./internal/memview ./internal/interp ./internal/pointsto ./internal/chaos
 
 ## vet: static checks
 vet:
@@ -40,6 +41,14 @@ bench-json:
 bench-smoke:
 	$(GO) test -run '^TestScaledPrepSmoke$$' -v .
 	$(GO) test -run '^$$' -bench 'BenchmarkSolverPrep/randprog-1k' -benchtime 1x .
+
+## chaos-smoke: fast robustness gate — the fault-injection differential
+## harness under -race over a small seed matrix (8 plans in the test, 2 via
+## the CLI), asserting every app lands identical / sound-fallback /
+## typed-error, never silently wrong
+chaos-smoke:
+	$(GO) test -race -short -run '^TestChaos' -v ./internal/chaos
+	$(GO) run ./cmd/kscope-bench -chaos 1 -chaos-plans 2
 
 ## fuzz-smoke: ~10s native-fuzz sanity pass over the model-based bitset
 ## fuzzer and the solver-equivalence fuzzer

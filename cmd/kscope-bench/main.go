@@ -32,6 +32,11 @@
 //	                   (default 0.10)
 //	-watchdog D        report a stall diagnosis on stderr if the solver makes
 //	                   no progress for duration D (0 = off)
+//	-chaos N           run the fault-injection differential harness with base
+//	                   seed N instead of rendering artifacts; exit 1 if any
+//	                   app lands on an unsound outcome (0 = off)
+//	-chaos-plans N     number of consecutive seeded fault plans for -chaos
+//	                   (default 8)
 //	-cpuprofile F      write a runtime/pprof CPU profile to F
 //	-memprofile F      write a runtime/pprof heap profile to F
 //
@@ -50,6 +55,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/chaos"
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
 )
@@ -91,6 +97,8 @@ func run() int {
 	comparePath := flag.String("compare-metrics", "", "compare this run against a prior -metrics-json export")
 	threshold := flag.Float64("regress-threshold", 0.10, "allowed fractional growth of watched instruments")
 	watchdog := flag.Duration("watchdog", 0, "stall-report window for the solver progress watchdog (0 = off)")
+	chaosSeed := flag.Int64("chaos", 0, "run the chaos differential harness with this base seed (0 = off)")
+	chaosPlans := flag.Int("chaos-plans", 8, "number of seeded fault plans for -chaos")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	var exts, watch stringList
@@ -111,7 +119,7 @@ func run() int {
 		figs = intList{1, 10, 11, 12, 13}
 		exts = stringList{"debloat", "graded", "incremental"}
 	}
-	if len(tables) == 0 && len(figs) == 0 && len(exts) == 0 && *csvDir == "" {
+	if len(tables) == 0 && len(figs) == 0 && len(exts) == 0 && *csvDir == "" && *chaosSeed == 0 {
 		flag.Usage()
 		return 2
 	}
@@ -145,6 +153,21 @@ func run() int {
 			func(s telemetry.Stall) { fmt.Fprint(os.Stderr, s.Text()) })
 		defer wd.Stop()
 	}
+	if *chaosSeed != 0 {
+		code := runChaos(*chaosSeed, *chaosPlans, opt, *parallel, reg)
+		if reg != nil {
+			snap := reg.Snapshot()
+			if *metrics {
+				fmt.Fprint(os.Stderr, snap.Text())
+			}
+			if err := exportSnapshot(snap, *metricsJSON, *tracePath); err != nil {
+				fmt.Fprintf(os.Stderr, "kscope-bench: %v\n", err)
+				return 1
+			}
+		}
+		return code
+	}
+
 	sess := experiments.NewSession(opt, *parallel, reg)
 
 	out, err := renderArtifacts(sess, tables, figs, exts)
@@ -191,6 +214,33 @@ func run() int {
 		if regressed {
 			return 1
 		}
+	}
+	return 0
+}
+
+// runChaos drives the fault-injection differential harness over `plans`
+// consecutive seeds, printing one report per plan. The exit code is 1 when
+// any app under any plan violates the robustness contract (an Unsound
+// classification), mirroring the chaos-smoke CI gate.
+func runChaos(seed int64, plans int, opt experiments.Options, parallel int, reg *telemetry.Registry) int {
+	reports, err := chaos.RunMatrix(seed, plans, chaos.Options{
+		Requests: opt.Requests,
+		Runs:     opt.Runs,
+		Workers:  parallel,
+		Metrics:  reg,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kscope-bench: chaos: %v\n", err)
+		return 1
+	}
+	failures := 0
+	for _, rep := range reports {
+		fmt.Print(rep.Text())
+		failures += len(rep.Failures())
+	}
+	fmt.Printf("chaos: %d plan(s), %d unsound outcome(s)\n", len(reports), failures)
+	if failures > 0 {
+		return 1
 	}
 	return 0
 }

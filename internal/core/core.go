@@ -11,9 +11,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cfi"
+	"repro/internal/faultinject"
 	"repro/internal/interp"
 	"repro/internal/invariant"
 	"repro/internal/ir"
@@ -55,18 +57,49 @@ func AnalyzeWithMetrics(m *ir.Module, cfg invariant.Config, metrics *telemetry.R
 // batch drivers (internal/runner) solve it once per module and share it
 // across all optimistic configurations; passing nil computes it here.
 func AnalyzeWithFallback(m *ir.Module, cfg invariant.Config, fallback *pointsto.Result, metrics *telemetry.Registry) *System {
+	s, err := AnalyzeCtx(context.Background(), m, cfg, AnalyzeOpts{Fallback: fallback, Metrics: metrics})
+	if err != nil {
+		// Unreachable: without a cancellable context, a budget, or a fault
+		// plan, SolveCtx cannot abort.
+		panic(err)
+	}
+	return s
+}
+
+// AnalyzeOpts configures AnalyzeCtx. The zero value is a plain unbounded
+// analysis.
+type AnalyzeOpts struct {
+	Fallback *pointsto.Result     // precomputed stage-① result; nil computes it
+	Metrics  *telemetry.Registry  // telemetry sink (may be nil)
+	Budget   pointsto.Budget      // per-stage solver step budget (zero = unlimited)
+	Faults   *faultinject.Plan    // fault-injection plan armed on both solver stages
+}
+
+// AnalyzeCtx is the cancellable, bounded, fault-injectable analysis entry.
+// Each solver stage runs under the context and budget; an aborted stage
+// surfaces as a wrapped pointsto.AbortError (errors.Is ErrSolveAborted) and
+// the System is not produced — a degraded analysis is an explicit error,
+// never a partial result.
+func AnalyzeCtx(ctx context.Context, m *ir.Module, cfg invariant.Config, o AnalyzeOpts) (*System, error) {
+	metrics := o.Metrics
 	s := &System{Module: m, Config: cfg, Metrics: metrics}
 	span, finish := metrics.StartSpan("core/analyze", nil)
 	defer finish()
+	fallback := o.Fallback
 	if fallback == nil {
 		sp, fin := metrics.StartSpan("core/stage/fallback", span)
 		stop := metrics.Timer("core/stage/fallback").Start()
 		a := pointsto.New(m, invariant.Config{})
 		a.SetMetrics(metrics)
 		a.SetSpan(sp)
-		fallback = a.Solve()
+		a.SetFaults(o.Faults)
+		r, err := a.SolveCtx(ctx, o.Budget)
 		stop()
 		fin()
+		if err != nil {
+			return nil, fmt.Errorf("fallback stage: %w", err)
+		}
+		fallback = r
 	}
 	s.Fallback = fallback
 	if cfg.Any() {
@@ -75,14 +108,19 @@ func AnalyzeWithFallback(m *ir.Module, cfg invariant.Config, fallback *pointsto.
 		a := pointsto.New(m, cfg)
 		a.SetMetrics(metrics)
 		a.SetSpan(sp)
-		s.Optimistic = a.Solve()
+		a.SetFaults(o.Faults)
+		r, err := a.SolveCtx(ctx, o.Budget)
 		stop()
 		fin()
+		if err != nil {
+			return nil, fmt.Errorf("optimistic stage: %w", err)
+		}
+		s.Optimistic = r
 	} else {
 		s.Optimistic = s.Fallback
 	}
 	metrics.Counter("core/analyses").Inc()
-	return s
+	return s, nil
 }
 
 // AnalyzeSource compiles MiniC source and runs Analyze.
@@ -144,20 +182,42 @@ type Execution struct {
 }
 
 // NewExecution builds a monitored execution. Each execution has its own
-// switcher state, so one invariant violation does not leak across runs.
+// switcher state, so one invariant violation does not leak across runs. It
+// panics on a corrupt invariant record (impossible without fault injection);
+// error-aware callers use NewExecutionChecked.
 func (h *Hardened) NewExecution(track bool) *Execution {
+	e, err := h.NewExecutionChecked(track, nil)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// NewExecutionChecked is NewExecution with fault injection and an error
+// path: an armed CorruptRecord fault (or a genuinely corrupt record) is
+// caught by monitor-record validation and surfaces as a typed
+// *memview.CorruptRecordError; the SpuriousViolation site stays armed inside
+// the runtime's monitor hooks for the execution's lifetime.
+func (h *Hardened) NewExecutionChecked(track bool, faults *faultinject.Plan) (*Execution, error) {
 	sw, secret := memview.NewSwitcher(
 		h.Optimistic.View("optimistic"),
 		h.Fallback.View("fallback"),
 	)
-	rt, ins := memview.NewRuntime(h.Sys.Optimistic, sw, secret)
+	rt, ins, err := memview.BuildRuntime(h.Sys.Optimistic, memview.RuntimeOpts{
+		Switcher: sw,
+		Secret:   secret,
+		Faults:   faults,
+	})
+	if err != nil {
+		return nil, err
+	}
 	mc := interp.New(h.Sys.Module, interp.Config{
 		Hooks:         rt,
 		Instr:         ins,
 		TrackPointsTo: track,
 		Metrics:       h.Sys.Metrics,
 	})
-	return &Execution{Machine: mc, Runtime: rt, Switcher: sw, Instr: ins}
+	return &Execution{Machine: mc, Runtime: rt, Switcher: sw, Instr: ins}, nil
 }
 
 // MonitorSites returns the number of distinct instrumented monitor sites in

@@ -1,0 +1,132 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestNilPlanInert checks every method is safe and inert on a nil plan.
+func TestNilPlanInert(t *testing.T) {
+	var p *Plan
+	if p.Fire(WorkerPanic) || p.Armed(WorkerPanic) || p.Fired(WorkerPanic) {
+		t.Error("nil plan reports activity")
+	}
+	if err := p.Err(CachePoison); err != nil {
+		t.Errorf("nil plan Err = %v", err)
+	}
+	if got := p.FiredSites(); got != nil {
+		t.Errorf("nil plan FiredSites = %v", got)
+	}
+	p.SetMetrics(telemetry.New())
+	if p.Seed() != 0 || p.String() != "fault plan: none" {
+		t.Errorf("nil plan identity: seed=%d str=%q", p.Seed(), p.String())
+	}
+}
+
+// TestPlanDeterminism checks same-seed plans arm the same sites at the same
+// hits, and behave identically under the same hit sequence.
+func TestPlanDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 64; seed++ {
+		a, b := NewPlan(seed), NewPlan(seed)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: %q != %q", seed, a, b)
+		}
+		armed := 0
+		for _, s := range Sites() {
+			if a.Armed(s) != b.Armed(s) {
+				t.Fatalf("seed %d: arming mismatch at %s", seed, s)
+			}
+			if a.Armed(s) {
+				armed++
+			}
+			for hit := 0; hit < 500; hit++ {
+				if a.Fire(s) != b.Fire(s) {
+					t.Fatalf("seed %d: fire mismatch at %s hit %d", seed, s, hit)
+				}
+			}
+		}
+		if armed == 0 {
+			t.Fatalf("seed %d: plan arms no site", seed)
+		}
+	}
+}
+
+// TestFireExactlyOnce checks an armed site fires on exactly its chosen hit,
+// once, even under concurrent hammering.
+func TestFireExactlyOnce(t *testing.T) {
+	p := ExplicitAt(SolverBudget, 37)
+	var fires int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if p.Fire(SolverBudget) {
+					mu.Lock()
+					fires++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fires != 1 {
+		t.Fatalf("fired %d times, want exactly 1", fires)
+	}
+	if !p.Fired(SolverBudget) {
+		t.Error("Fired not recorded")
+	}
+	if got := p.FiredSites(); len(got) != 1 || got[0] != SolverBudget {
+		t.Errorf("FiredSites = %v", got)
+	}
+}
+
+// TestErrTyped checks Err surfaces the fire as a typed *Injected.
+func TestErrTyped(t *testing.T) {
+	p := Explicit(CachePoison)
+	err := p.Err(CachePoison)
+	var inj *Injected
+	if !errors.As(err, &inj) {
+		t.Fatalf("Err = %v, want *Injected", err)
+	}
+	if inj.Site != CachePoison || inj.Hit != 1 {
+		t.Errorf("Injected = %+v", inj)
+	}
+	if err := p.Err(CachePoison); err != nil {
+		t.Errorf("second Err = %v, want nil (single-shot)", err)
+	}
+	if p.Err(WorkerPanic) != nil {
+		t.Error("unarmed site produced an error")
+	}
+}
+
+// TestMetricsCounters checks fires land in fault/fired/<site> counters.
+func TestMetricsCounters(t *testing.T) {
+	reg := telemetry.New()
+	p := Explicit(WorkerPanic, SpuriousViolation)
+	p.SetMetrics(reg)
+	p.Fire(WorkerPanic)
+	p.Fire(WorkerPanic) // past the single shot: no second count
+	p.Fire(SpuriousViolation)
+	if got := reg.Counter("fault/fired/" + string(WorkerPanic)).Value(); got != 1 {
+		t.Errorf("worker-panic fires = %d, want 1", got)
+	}
+	if got := reg.Counter("fault/fired/" + string(SpuriousViolation)).Value(); got != 1 {
+		t.Errorf("spurious-violation fires = %d, want 1", got)
+	}
+}
+
+// TestHitWindowsCoverAllSites checks plan derivation has a window for every
+// site (a new site without a window would panic NewPlan's Int63n).
+func TestHitWindowsCoverAllSites(t *testing.T) {
+	for _, s := range Sites() {
+		if hitWindow[s] <= 0 {
+			t.Errorf("site %s has no hit window", s)
+		}
+	}
+}

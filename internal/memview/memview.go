@@ -8,6 +8,7 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/invariant"
 )
@@ -65,12 +66,19 @@ var ErrBadGate = fmt.Errorf("memview: secure gate check failed: invalid secret")
 // Switcher holds the two memory views and performs the secure, one-way
 // optimistic→fallback switch. Legitimate callers must present the 64-bit
 // secret issued at construction, modeling the stack-secret gate of §5.
+//
+// A Switcher is safe for concurrent use: monitors may fire from multiple
+// goroutines, and a violation storm produces exactly one view transition
+// while every violation is still recorded (Switch is one-way idempotent).
 type Switcher struct {
 	optimistic *View
 	fallback   *View
-	active     *View
 	secret     uint64
+
+	mu         sync.Mutex
+	active     *View
 	violations []Violation
+	badGates   int64
 }
 
 // NewSwitcher creates a switcher starting on the optimistic view and returns
@@ -89,19 +97,46 @@ func NewSwitcher(optimistic, fallback *View) (*Switcher, uint64) {
 }
 
 // Active returns the currently installed view.
-func (s *Switcher) Active() *View { return s.active }
+func (s *Switcher) Active() *View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
 
 // Switched reports whether the fallback view is installed.
-func (s *Switcher) Switched() bool { return s.active == s.fallback }
+func (s *Switcher) Switched() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active == s.fallback
+}
 
-// Violations returns the recorded invariant violations.
-func (s *Switcher) Violations() []Violation { return s.violations }
+// Violations returns a copy of the recorded invariant violations, in the
+// order the switcher accepted them.
+func (s *Switcher) Violations() []Violation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Violation, len(s.violations))
+	copy(out, s.violations)
+	return out
+}
+
+// BadGateAttempts returns how many Switch calls presented a wrong secret.
+func (s *Switcher) BadGateAttempts() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.badGates
+}
 
 // Switch installs the fallback view. The caller must present the gate
-// secret; a wrong secret is rejected (and recorded as an attempted
-// illegitimate entry).
+// secret; a wrong secret is rejected with ErrBadGate (and counted as an
+// attempted illegitimate entry). Switch is one-way and idempotent: however
+// many violations race in, the view transitions optimistic→fallback exactly
+// once and never back, and every accepted violation is recorded.
 func (s *Switcher) Switch(gate uint64, v Violation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if gate != s.secret {
+		s.badGates++
 		return ErrBadGate
 	}
 	s.violations = append(s.violations, v)

@@ -1,10 +1,12 @@
 package pointsto
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/bitset"
+	"repro/internal/faultinject"
 	"repro/internal/invariant"
 	"repro/internal/ir"
 	"repro/internal/telemetry"
@@ -194,6 +196,15 @@ type Analysis struct {
 	hPtsSize     *telemetry.Histogram // pointsto/pts/size
 	cLivePops    *telemetry.Counter   // pointsto/progress/pops (live, for the watchdog)
 	gLiveDepth   *telemetry.Gauge     // pointsto/progress/worklist-depth (live)
+
+	// SolveCtx budget state (budget.go). budgeted gates every per-step check,
+	// so an unbounded Solve pays one bool test per pop and nothing else.
+	faults    *faultinject.Plan // armed fault-injection plan; nil = inert
+	solveCtx  context.Context   // context of the active SolveCtx, nil otherwise
+	stepsLeft int64             // >0 steps remaining, <0 exhausted, 0 unlimited
+	ctxPolls  int64             // steps since SolveCtx began, for context polling
+	budgeted  bool
+	abortErr  error // pending *AbortError recorded by budgetStep
 }
 
 // SetNaive disables copy-cycle collapse (positive-weight-cycle handling is

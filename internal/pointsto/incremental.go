@@ -109,6 +109,7 @@ func (r *Result) Restore(rec invariant.Record) error {
 	default:
 		return fmt.Errorf("pointsto: unknown invariant kind %v", rec.Kind)
 	}
-	a.resolve()
-	return nil
+	// Restore re-solves outside any SolveCtx budget, so this cannot abort;
+	// the error return is plumbed through for uniformity.
+	return a.resolve()
 }

@@ -1,6 +1,7 @@
 package pointsto
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,15 +13,21 @@ import (
 
 // Solve runs the inclusion-constraint solver to a fixed point and returns
 // the points-to result. Solving alternates worklist propagation with cycle
-// detection/collapse until neither changes the graph.
+// detection/collapse until neither changes the graph. Bounded or cancellable
+// solving goes through SolveCtx; Solve itself cannot abort (callers that arm
+// SolverBudget faults must use SolveCtx).
 func (a *Analysis) Solve() *Result {
-	a.resolve()
-	return newResult(a)
+	r, err := a.SolveCtx(context.Background(), Budget{})
+	if err != nil {
+		panic(err)
+	}
+	return r
 }
 
 // resolve runs propagation + cycle detection to a fixed point; it is also
-// the incremental re-solve entry used by Restore.
-func (a *Analysis) resolve() {
+// the incremental re-solve entry used by Restore. A non-nil error is always
+// an *AbortError from the active budget, and leaves the analysis resumable.
+func (a *Analysis) resolve() error {
 	if a.metrics != nil && !a.buildEmitted {
 		// Constraint-graph construction ran inside New, before a registry
 		// could be attached; export its interval retroactively, once.
@@ -56,6 +63,9 @@ func (a *Analysis) resolve() {
 			a.drain()
 			stopP()
 			finP()
+			if a.abortErr != nil {
+				break
+			}
 			_, finS := a.metrics.StartSpan("pointsto/round/scc", solveSpan)
 			stopS := a.metrics.Timer("pointsto/phase/scc").Start()
 			changed := a.sccPass()
@@ -66,6 +76,18 @@ func (a *Analysis) resolve() {
 			}
 		}
 	}
+	if a.abortErr != nil {
+		// Budget exhausted (or cancelled, or an injected solver fault): stop
+		// cleanly without presenting the intermediate state as a fixpoint.
+		// The unpopped worklist stays queued, so a later resolve resumes and
+		// converges to the identical fixpoint.
+		stop()
+		finishSolve()
+		a.flushMetrics()
+		err := a.abortErr
+		a.abortErr = nil
+		return err
+	}
 	_, mons := a.invariantRecords()
 	a.stats.MonitorSites = len(mons)
 	// Flatten the union-find so post-solve readers (Result methods) can
@@ -75,6 +97,7 @@ func (a *Analysis) resolve() {
 	stop()
 	finishSolve()
 	a.flushMetrics()
+	return nil
 }
 
 // flattenReps fully path-compresses every union-find pointer.
@@ -131,9 +154,14 @@ func (a *Analysis) flushMetrics() {
 	}
 }
 
-// drain processes the worklist to exhaustion.
+// drain processes the worklist to exhaustion, or until the active budget
+// aborts it. The budget check runs before the pop, so the node the abort
+// lands on stays queued for a resumed solve.
 func (a *Analysis) drain() {
 	for len(a.worklist) > 0 {
+		if a.budgeted && !a.budgetStep() {
+			return
+		}
 		raw := int(a.worklist[len(a.worklist)-1])
 		a.worklist = a.worklist[:len(a.worklist)-1]
 		a.inWL[raw] = false

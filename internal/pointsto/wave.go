@@ -37,13 +37,21 @@ func (a *Analysis) solveWave(solveSpan *telemetry.Span) {
 			if a.find(n) != n {
 				continue
 			}
+			if a.budgeted && !a.budgetStep() {
+				break
+			}
 			a.inWL[n] = false
 			a.processNode(n)
 		}
-		// Drain any residual work (derived edges may point upstream).
+		// Drain any residual work (derived edges may point upstream). An
+		// abort above falls through harmlessly: drain re-checks the budget
+		// before its first pop.
 		a.drain()
 		stopW()
 		finW()
+		if a.abortErr != nil {
+			return
+		}
 		if !changed && !a.sccPass() {
 			// One more quiescence check: nothing changed structurally and
 			// the worklist is empty.

@@ -1,9 +1,12 @@
 package runner
 
 import (
+	"context"
+	"fmt"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/invariant"
 	"repro/internal/pointsto"
 	"repro/internal/telemetry"
@@ -16,11 +19,13 @@ type cacheKey struct {
 	cfg string
 }
 
-// cacheEntry is a single-flight slot: the first requester solves, concurrent
-// requesters for the same key block on the same Once and share the result.
+// cacheEntry is a single-flight slot: the first requester (the leader)
+// solves and closes done; concurrent requesters block on done and share the
+// outcome, error included.
 type cacheEntry struct {
-	once sync.Once
+	done chan struct{}
 	sys  *core.System
+	err  error
 }
 
 // Cache memoizes IGO analyses per (application, invariant configuration).
@@ -29,8 +34,14 @@ type cacheEntry struct {
 // pair solve exactly once, and shares the configuration-independent fallback
 // result across all configurations of an application, halving the remaining
 // solver work. Safe for concurrent use from Map workers.
+//
+// Failures are never cached: when a computation errors (cancelled, budget
+// abort, injected fault), the waiters of that flight all receive the error,
+// the entry is invalidated, and the next request recomputes from scratch
+// (counter "runner/cache/invalidations").
 type Cache struct {
 	metrics *telemetry.Registry
+	faults  *faultinject.Plan // armed fault plan; fires CachePoison per compute
 	mu      sync.Mutex
 	entries map[cacheKey]*cacheEntry
 }
@@ -41,36 +52,88 @@ func NewCache(metrics *telemetry.Registry) *Cache {
 	return &Cache{metrics: metrics, entries: map[cacheKey]*cacheEntry{}}
 }
 
+// SetFaults arms a fault-injection plan: the CachePoison site fires once per
+// analysis computation and fails it with a typed error (which, per the
+// invalidation contract, is returned to that flight's waiters and not
+// cached). Must be set before the cache is used.
+func (c *Cache) SetFaults(p *faultinject.Plan) { c.faults = p }
+
 // System returns the memoized analysis of app under cfg, computing it on
-// first request. The fallback stage is taken from the memoized Baseline
-// entry, so it is solved once per application no matter how many
-// configurations are requested.
+// first request. It panics on computation failure; error-aware callers
+// (chaos harness, cancellable drivers) use SystemCtx.
 func (c *Cache) System(app *workload.App, cfg invariant.Config) *core.System {
-	c.metrics.Counter("runner/cache/requests").Inc()
-	e := c.entry(cacheKey{app: app.Name, cfg: cfg.Name()})
-	e.once.Do(func() {
-		c.metrics.Counter("runner/cache/misses").Inc()
-		var fallback *pointsto.Result
-		if cfg.Any() {
-			// Recurse to the Baseline entry (a different key, so the nested
-			// Once cannot deadlock) and reuse its solved fallback.
-			fallback = c.System(app, invariant.Config{}).Fallback
-		}
-		e.sys = core.AnalyzeWithFallback(app.MustModule(), cfg, fallback, c.metrics)
-	})
-	return e.sys
+	sys, err := c.SystemCtx(context.Background(), app, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return sys
 }
 
-// entry returns (creating if needed) the slot for key.
-func (c *Cache) entry(key cacheKey) *cacheEntry {
+// SystemCtx returns the memoized analysis of app under cfg, computing it on
+// first request. The fallback stage is taken from the memoized Baseline
+// entry, so it is solved once per application no matter how many
+// configurations are requested. Concurrent requests for the same key share
+// one computation; if it fails, all of them receive the error and the entry
+// is invalidated so a later request retries.
+func (c *Cache) SystemCtx(ctx context.Context, app *workload.App, cfg invariant.Config) (*core.System, error) {
+	c.metrics.Counter("runner/cache/requests").Inc()
+	key := cacheKey{app: app.Name, cfg: cfg.Name()}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	e := c.entries[key]
 	if e == nil {
-		e = &cacheEntry{}
+		e = &cacheEntry{done: make(chan struct{})}
 		c.entries[key] = e
+		c.mu.Unlock()
+		// Leader: compute, publish, and invalidate on error — in that order,
+		// so waiters of this flight still see the error before the entry
+		// disappears for future requests.
+		c.metrics.Counter("runner/cache/misses").Inc()
+		e.sys, e.err = c.compute(ctx, app, cfg)
+		if e.err != nil {
+			c.mu.Lock()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+			c.metrics.Counter("runner/cache/invalidations").Inc()
+		}
+		close(e.done)
+		return e.sys, e.err
 	}
-	return e
+	c.mu.Unlock()
+	select {
+	case <-e.done:
+		return e.sys, e.err
+	case <-ctx.Done():
+		// This waiter gives up; the flight itself keeps running under the
+		// leader's context and stays cached for others.
+		return nil, fmt.Errorf("runner: cache wait for %s/%s: %w", key.app, key.cfg, ctx.Err())
+	}
+}
+
+// compute runs one analysis, recursing to the Baseline entry (a different
+// key, so the nested flight cannot deadlock) for the shared fallback result.
+func (c *Cache) compute(ctx context.Context, app *workload.App, cfg invariant.Config) (*core.System, error) {
+	if err := c.faults.Err(faultinject.CachePoison); err != nil {
+		return nil, fmt.Errorf("runner: analysis of %s/%s failed: %w", app.Name, cfg.Name(), err)
+	}
+	var fallback *pointsto.Result
+	if cfg.Any() {
+		base, err := c.SystemCtx(ctx, app, invariant.Config{})
+		if err != nil {
+			return nil, err
+		}
+		fallback = base.Fallback
+	}
+	m, err := app.Module()
+	if err != nil {
+		return nil, fmt.Errorf("runner: workload %s: %w", app.Name, err)
+	}
+	return core.AnalyzeCtx(ctx, m, cfg, core.AnalyzeOpts{
+		Fallback: fallback,
+		Metrics:  c.metrics,
+		Faults:   c.faults,
+	})
 }
 
 // Len returns the number of memoized entries (test/diagnostic use).

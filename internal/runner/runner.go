@@ -9,9 +9,17 @@
 // regardless of completion order, and every job in this repository is a pure
 // function of its inputs, so a run at -parallel 8 renders byte-identical
 // tables and figures to a run at -parallel 1 (asserted by tests).
+//
+// Degradation contract (MapOpts): a job may fail by error, panic, or
+// timeout; each failure lands in its own Result as a typed error
+// (*PanicError, *TimeoutError) and never takes down the batch. Transient
+// errors can be retried with exponential backoff, and a circuit breaker can
+// degrade the pool to serial execution after repeated panics — every job
+// still runs, results stay index-ordered.
 package runner
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -19,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/telemetry"
 )
 
@@ -26,7 +35,7 @@ import (
 type Result[T any] struct {
 	Index   int
 	Value   T
-	Err     error // non-nil if the job returned an error or panicked
+	Err     error // non-nil if the job returned an error, panicked, or timed out
 	Elapsed time.Duration
 }
 
@@ -38,6 +47,30 @@ type PanicError struct {
 }
 
 func (e *PanicError) Error() string { return fmt.Sprintf("job panicked: %v", e.Value) }
+
+// Unwrap exposes a panic value that was itself an error (e.g. an injected
+// fault), so errors.Is/As see through the recovery.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// TimeoutError reports a job that exceeded its per-job Opts.Timeout. The
+// job's goroutine may still be running; its eventual outcome is discarded.
+type TimeoutError struct {
+	Index   int
+	Timeout time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("job %d timed out after %v", e.Index, e.Timeout)
+}
+
+// ErrTransient marks an error as retryable under the default transiency
+// predicate: jobs wrap (or return) it to request a bounded retry.
+var ErrTransient = errors.New("runner: transient job failure")
 
 // Trace is the optional observability hookup of a Map call. With a nil
 // Metrics registry every field is inert and the pool behaves exactly like
@@ -51,18 +84,79 @@ type Trace struct {
 	Label   string          // per-job span name; "" defaults to "runner/job"
 }
 
-// Map runs fn(0..n-1) across a pool of `workers` goroutines (GOMAXPROCS if
-// workers <= 0) and returns the results indexed by job number. Jobs are
-// claimed from a shared atomic cursor, so workers stay busy regardless of
-// per-job cost skew; a panicking job is recovered into its Result.
+// Opts configures one MapOpts call. The zero value behaves exactly like the
+// plain Map: no tracing, no timeout, no retries, no breaker.
+type Opts struct {
+	Trace Trace
+
+	// Timeout bounds each job's wall-clock time; 0 disables. A timed-out
+	// job's Result carries a *TimeoutError. The job goroutine is not killed
+	// (Go cannot), but its late outcome is discarded.
+	Timeout time.Duration
+
+	// Retries is the number of extra attempts granted to a job whose error
+	// is transient (per IsTransient). Panics and timeouts never retry.
+	Retries int
+
+	// Backoff is the sleep before the first retry, doubled on each further
+	// retry. 0 retries immediately.
+	Backoff time.Duration
+
+	// IsTransient classifies retryable errors; nil means
+	// errors.Is(err, ErrTransient).
+	IsTransient func(error) bool
+
+	// BreakerThreshold trips the circuit breaker after this many recovered
+	// panics: in-flight jobs finish, the pool's workers stand down, and the
+	// remaining jobs run serially (counter "runner/breaker-tripped"). 0
+	// disables the breaker.
+	BreakerThreshold int
+
+	// Faults optionally arms fault injection: the WorkerPanic site fires at
+	// job start, inside the recovered region.
+	Faults *faultinject.Plan
+}
+
+// instruments are the pool's telemetry handles, resolved once per Map call,
+// not per job; with no registry they are all nil (inert) instruments.
+type instruments struct {
+	latency  *telemetry.Histogram // runner/job-latency-ns
+	panicked *telemetry.Counter   // runner/jobs-panicked
+	timedOut *telemetry.Counter   // runner/jobs-timed-out
+	retried  *telemetry.Counter   // runner/jobs-retried
+	tripped  *telemetry.Counter   // runner/breaker-tripped
+}
+
+// breaker is the shared panic-count state of one MapOpts call.
+type breaker struct {
+	panics  int64
+	tripped atomic.Bool
+}
+
+// Map runs fn(0..n-1) across a pool of `workers` goroutines and returns the
+// results indexed by job number. Jobs are claimed from a shared atomic
+// cursor, so workers stay busy regardless of per-job cost skew; a panicking
+// job is recovered into its Result.
+//
+// Input contract (explicit, tested): n <= 0 returns nil without calling fn
+// or spawning any goroutine; workers <= 0 means GOMAXPROCS; workers > n is
+// clamped to n; workers == 1 runs serially on the calling goroutine.
 func Map[T any](n, workers int, fn func(i int) (T, error)) []Result[T] {
-	return MapTraced(n, workers, Trace{}, fn)
+	return MapOpts(n, workers, Opts{}, fn)
 }
 
 // MapTraced is Map with telemetry: job spans, a latency histogram, and a
 // panic counter (see Trace). The determinism contract is unchanged — tracing
 // observes job execution, it never reorders or alters it.
 func MapTraced[T any](n, workers int, tr Trace, fn func(i int) (T, error)) []Result[T] {
+	return MapOpts(n, workers, Opts{Trace: tr}, fn)
+}
+
+// MapOpts is Map with the full degradation toolkit: per-job timeouts,
+// bounded retry with backoff for transient errors, a panic circuit breaker,
+// and fault injection. See Opts. Results remain index-ordered and complete:
+// every job gets exactly one Result whatever fails around it.
+func MapOpts[T any](n, workers int, o Opts, fn func(i int) (T, error)) []Result[T] {
 	if n <= 0 {
 		return nil
 	}
@@ -72,20 +166,27 @@ func MapTraced[T any](n, workers int, tr Trace, fn func(i int) (T, error)) []Res
 	if workers > n {
 		workers = n
 	}
-	if tr.Label == "" {
-		tr.Label = "runner/job"
+	if o.Trace.Label == "" {
+		o.Trace.Label = "runner/job"
 	}
-	// Instrument lookups happen once per Map call, not per job; with no
-	// registry these are all nil (inert) instruments.
-	latency := tr.Metrics.Histogram("runner/job-latency-ns")
-	panicked := tr.Metrics.Counter("runner/jobs-panicked")
+	if o.IsTransient == nil {
+		o.IsTransient = func(err error) bool { return errors.Is(err, ErrTransient) }
+	}
+	ins := instruments{
+		latency:  o.Trace.Metrics.Histogram("runner/job-latency-ns"),
+		panicked: o.Trace.Metrics.Counter("runner/jobs-panicked"),
+		timedOut: o.Trace.Metrics.Counter("runner/jobs-timed-out"),
+		retried:  o.Trace.Metrics.Counter("runner/jobs-retried"),
+		tripped:  o.Trace.Metrics.Counter("runner/breaker-tripped"),
+	}
 	out := make([]Result[T], n)
+	br := &breaker{}
 	if workers == 1 {
 		// Serial fast path: no goroutine or scheduling overhead, identical
 		// semantics (this is the -parallel 1 reference the byte-identity
 		// tests compare against).
 		for i := 0; i < n; i++ {
-			out[i] = runJob(i, 0, tr, latency, panicked, fn)
+			out[i] = runJob(i, 0, o, ins, br, fn)
 		}
 		return out
 	}
@@ -95,34 +196,111 @@ func MapTraced[T any](n, workers int, tr Trace, fn func(i int) (T, error)) []Res
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for {
+			// Workers re-check the breaker before claiming each job, so a
+			// trip stops new parallel claims but never abandons a claimed
+			// job mid-run.
+			for !br.tripped.Load() {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
 				}
-				out[i] = runJob(i, w, tr, latency, panicked, fn)
+				out[i] = runJob(i, w, o, ins, br, fn)
 			}
 		}(w)
 	}
 	wg.Wait()
+	// Degraded mode: the breaker tripped, the pool stood down, and whatever
+	// the workers had not claimed yet runs serially here. The same cursor
+	// continues, so no job is skipped or run twice.
+	for br.tripped.Load() {
+		i := int(atomic.AddInt64(&next, 1)) - 1
+		if i >= n {
+			break
+		}
+		out[i] = runJob(i, 0, o, ins, br, fn)
+	}
 	return out
 }
 
-// runJob executes one job with panic recovery, timing, and telemetry.
-func runJob[T any](i, worker int, tr Trace, latency *telemetry.Histogram, panicked *telemetry.Counter, fn func(i int) (T, error)) (res Result[T]) {
+// runJob executes one job — with panic recovery, optional timeout, and
+// bounded retries for transient errors — under a span covering all attempts.
+func runJob[T any](i, worker int, o Opts, ins instruments, br *breaker, fn func(i int) (T, error)) (res Result[T]) {
 	res.Index = i
-	sp, finish := tr.Metrics.StartSpan(tr.Label, tr.Parent)
+	sp, finish := o.Trace.Metrics.StartSpan(o.Trace.Label, o.Trace.Parent)
 	sp.SetWorker(worker)
 	start := time.Now()
 	defer func() {
 		res.Elapsed = time.Since(start)
-		latency.Observe(res.Elapsed.Nanoseconds())
+		ins.latency.Observe(res.Elapsed.Nanoseconds())
 		finish()
+	}()
+	for attempt := 0; ; attempt++ {
+		res.Value, res.Err = callOnce(i, o, ins, br, fn)
+		if res.Err == nil || attempt >= o.Retries || !retryable(res.Err, o) {
+			return res
+		}
+		ins.retried.Inc()
+		if o.Backoff > 0 {
+			time.Sleep(o.Backoff << attempt)
+		}
+	}
+}
+
+// retryable allows retries only for transient plain errors: a panic left
+// unknown state behind and a timeout already cost the full budget, so
+// neither is retried.
+func retryable(err error, o Opts) bool {
+	var pe *PanicError
+	var te *TimeoutError
+	if errors.As(err, &pe) || errors.As(err, &te) {
+		return false
+	}
+	return o.IsTransient(err)
+}
+
+// callOnce runs a single attempt, racing it against the per-job timeout when
+// one is configured.
+func callOnce[T any](i int, o Opts, ins instruments, br *breaker, fn func(i int) (T, error)) (T, error) {
+	if o.Timeout <= 0 {
+		return callRecover(i, o, ins, br, fn)
+	}
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, err := callRecover(i, o, ins, br, fn)
+		ch <- outcome{v, err}
+	}()
+	timer := time.NewTimer(o.Timeout)
+	defer timer.Stop()
+	select {
+	case oc := <-ch:
+		return oc.v, oc.err
+	case <-timer.C:
+		ins.timedOut.Inc()
+		var zero T
+		return zero, &TimeoutError{Index: i, Timeout: o.Timeout}
+	}
+}
+
+// callRecover runs fn(i) inside the recovered region, firing the WorkerPanic
+// fault site first and feeding recovered panics to the circuit breaker.
+func callRecover[T any](i int, o Opts, ins instruments, br *breaker, fn func(i int) (T, error)) (v T, err error) {
+	defer func() {
 		if p := recover(); p != nil {
-			panicked.Inc()
-			res.Err = &PanicError{Value: p, Stack: debug.Stack()}
+			ins.panicked.Inc()
+			if o.BreakerThreshold > 0 &&
+				atomic.AddInt64(&br.panics, 1) >= int64(o.BreakerThreshold) &&
+				br.tripped.CompareAndSwap(false, true) {
+				ins.tripped.Inc()
+			}
+			err = &PanicError{Value: p, Stack: debug.Stack()}
 		}
 	}()
-	res.Value, res.Err = fn(i)
-	return res
+	if e := o.Faults.Err(faultinject.WorkerPanic); e != nil {
+		panic(e)
+	}
+	return fn(i)
 }

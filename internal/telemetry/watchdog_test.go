@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A nil registry, an empty watch list, or a nil callback must all disable the
+// watchdog entirely, and Stop on the resulting nil must be safe.
+func TestWatchdogNilConfigurations(t *testing.T) {
+	r := New()
+	if w := NewWatchdog(nil, time.Millisecond, time.Millisecond, []string{"x"}, func(Stall) {}); w != nil {
+		t.Error("nil registry produced a watchdog")
+	}
+	if w := NewWatchdog(r, time.Millisecond, time.Millisecond, nil, func(Stall) {}); w != nil {
+		t.Error("empty watch list produced a watchdog")
+	}
+	if w := NewWatchdog(r, time.Millisecond, time.Millisecond, []string{"x"}, nil); w != nil {
+		t.Error("nil callback produced a watchdog")
+	}
+	var w *Watchdog
+	w.Stop() // must not panic
+}
+
+// With flat watched instruments the watchdog fires exactly once per stall.
+func TestWatchdogFiresOnStall(t *testing.T) {
+	r := New()
+	r.Counter("solver/pops").Add(10)
+	stalls := make(chan Stall, 8)
+	w := NewWatchdog(r, time.Millisecond, 5*time.Millisecond,
+		[]string{"solver/pops"}, func(s Stall) { stalls <- s })
+	defer w.Stop()
+	select {
+	case s := <-stalls:
+		if s.Quiet < 5*time.Millisecond {
+			t.Errorf("stall reported after only %s quiet", s.Quiet)
+		}
+		if s.Watched["solver/pops"] != 10 {
+			t.Errorf("watched snapshot = %v, want solver/pops=10", s.Watched)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog never fired on a flat instrument")
+	}
+	// One stall, one report: no re-fire while still quiet.
+	select {
+	case <-stalls:
+		t.Error("watchdog fired twice for the same stall")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// Progress on any watched instrument holds the watchdog off, and after a
+// reported stall resumed progress re-arms it for the next one.
+func TestWatchdogRearmsAfterProgress(t *testing.T) {
+	r := New()
+	var fired atomic.Int64
+	stalls := make(chan Stall, 8)
+	w := NewWatchdog(r, time.Millisecond, 10*time.Millisecond,
+		[]string{"solver/pops"}, func(s Stall) { fired.Add(1); stalls <- s })
+	defer w.Stop()
+
+	// Keep making progress for a while: no stall may be reported.
+	deadline := time.Now().Add(40 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		r.Counter("solver/pops").Inc()
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n := fired.Load(); n != 0 {
+		t.Fatalf("watchdog fired %d times while progressing", n)
+	}
+
+	// First stall.
+	select {
+	case <-stalls:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no stall after progress ceased")
+	}
+	// Progress re-arms; the next quiet window is a fresh stall.
+	r.Counter("solver/pops").Inc()
+	select {
+	case <-stalls:
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog did not re-arm after progress")
+	}
+}
+
+// sample aggregates counter value plus timer and histogram observation counts
+// under one name, so "progress" is any new event.
+func TestWatchdogSampleAggregates(t *testing.T) {
+	r := New()
+	if got := sample(r, "x"); got != 0 {
+		t.Fatalf("empty sample = %d", got)
+	}
+	r.Counter("x").Add(3)
+	r.Timer("x").Start()()
+	r.Histogram("x").Observe(99)
+	if got := sample(r, "x"); got != 5 {
+		t.Errorf("sample = %d, want 5 (3 counter + 1 timer obs + 1 histogram obs)", got)
+	}
+}
+
+// Stall.Text renders the quiet window and every watched/gauge value.
+func TestStallText(t *testing.T) {
+	s := Stall{
+		Quiet:   1500 * time.Millisecond,
+		Watched: map[string]int64{"solver/pops": 42},
+		Gauges:  map[string]int64{"worklist/depth": 7},
+	}
+	text := s.Text()
+	for _, want := range []string{"no progress for 1.5s", "solver/pops=42", "worklist/depth=7"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text() missing %q:\n%s", want, text)
+		}
+	}
+}
