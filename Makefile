@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-smoke fuzz-smoke chaos-smoke check
+.PHONY: all build test race vet bench bench-json bench-smoke fuzz-smoke chaos-smoke serve-smoke check
 
 all: check
 
@@ -16,9 +16,9 @@ test:
 	$(GO) test ./...
 
 ## race: race-detect the concurrent packages (worker pool, telemetry,
-## switcher/monitor runtime, interpreter, solver, chaos harness)
+## switcher/monitor runtime, interpreter, solver, chaos harness, service)
 race:
-	$(GO) test -race ./internal/runner ./internal/telemetry ./internal/memview ./internal/interp ./internal/pointsto ./internal/chaos
+	$(GO) test -race ./internal/runner ./internal/telemetry ./internal/memview ./internal/interp ./internal/pointsto ./internal/chaos ./internal/serve
 
 ## vet: static checks
 vet:
@@ -49,6 +49,13 @@ bench-smoke:
 chaos-smoke:
 	$(GO) test -race -short -run '^TestChaos' -v ./internal/chaos
 	$(GO) run ./cmd/kscope-bench -chaos 1 -chaos-plans 2
+
+## serve-smoke: the daemon gate — start kscope-serve in-process on an
+## ephemeral port, health-check it, drive ~2s of generated load under an
+## SLO, verify one query round-trip, and shut down cleanly (exit 1 on any
+## step failing); see docs/RUNBOOK.md
+serve-smoke:
+	$(GO) run ./cmd/kscope-serve -smoke
 
 ## fuzz-smoke: ~10s native-fuzz sanity pass over the model-based bitset
 ## fuzzer and the solver-equivalence fuzzer

@@ -1,0 +1,245 @@
+// Command kscope-serve is the analysis-as-a-service daemon: a long-running
+// HTTP/JSON server that accepts MiniC programs and answers points-to,
+// CFI-target, and invariant queries on demand, with a content-hash analysis
+// cache, bounded admission, and per-request solve budgets. See docs/API.md
+// for the endpoint reference and docs/RUNBOOK.md for operations.
+//
+// Modes:
+//
+//	kscope-serve [flags]                         run the daemon (default)
+//	kscope-serve -loadgen [flags]                drive load at a running daemon,
+//	                                             report p50/p99, gate on SLOs
+//	kscope-serve -smoke                          self-contained CI smoke: start an
+//	                                             in-process daemon, health-check it,
+//	                                             run ~2s of load, one query
+//	                                             round-trip, clean shutdown
+//
+// Daemon flags:
+//
+//	-addr ADDR            listen address (default 127.0.0.1:8350)
+//	-max-body N           request body cap in bytes (default 1 MiB)
+//	-max-inflight N       concurrent solve slots (default GOMAXPROCS)
+//	-queue-timeout D      max admission wait before shedding (default 2s)
+//	-solve-steps N        per-stage solver step budget, 0 = unlimited
+//	-solve-timeout D      per-request solve wall-clock budget, 0 = unlimited
+//	-max-programs N       distinct cached programs before FIFO eviction
+//	-retry-after D        Retry-After hint on 503 responses (default 1s)
+//	-fault-seed N         arm the seeded fault-injection plan N (0 = off),
+//	                      for chaos-testing the daemon
+//
+// Loadgen flags:
+//
+//	-target URL           daemon base URL (default http://127.0.0.1:8350)
+//	-concurrency N        concurrent client sessions (default 8)
+//	-duration D           how long to drive load (default 2s)
+//	-slo-p50 D            fail (exit 1) if client-observed p50 exceeds D
+//	-slo-p99 D            fail (exit 1) if client-observed p99 exceeds D
+//	-slo-errors RATE      fail (exit 1) if hard-error rate exceeds RATE
+//	                      (default 0; 503 sheds never count as errors)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8350", "listen address")
+		maxBody      = flag.Int64("max-body", 1<<20, "request body cap in bytes")
+		maxInflight  = flag.Int("max-inflight", 0, "concurrent solve slots (0 = GOMAXPROCS)")
+		queueTimeout = flag.Duration("queue-timeout", 2*time.Second, "max admission wait before shedding")
+		solveSteps   = flag.Int64("solve-steps", 0, "per-stage solver step budget (0 = unlimited)")
+		solveTimeout = flag.Duration("solve-timeout", 0, "per-request solve wall clock (0 = unlimited)")
+		maxPrograms  = flag.Int("max-programs", 128, "distinct cached programs before eviction")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 503s")
+		faultSeed    = flag.Int64("fault-seed", 0, "arm seeded fault injection (0 = off)")
+
+		loadgen     = flag.Bool("loadgen", false, "run the load generator instead of the daemon")
+		target      = flag.String("target", "http://127.0.0.1:8350", "loadgen: daemon base URL")
+		concurrency = flag.Int("concurrency", 8, "loadgen: concurrent client sessions")
+		duration    = flag.Duration("duration", 2*time.Second, "loadgen: run length")
+		sloP50      = flag.Duration("slo-p50", 0, "loadgen: p50 latency SLO (0 = unchecked)")
+		sloP99      = flag.Duration("slo-p99", 0, "loadgen: p99 latency SLO (0 = unchecked)")
+		sloErrors   = flag.Float64("slo-errors", 0, "loadgen: max hard-error rate")
+
+		smoke = flag.Bool("smoke", false, "self-contained smoke run (CI)")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		MaxBodyBytes: *maxBody,
+		MaxInflight:  *maxInflight,
+		QueueTimeout: *queueTimeout,
+		SolveSteps:   *solveSteps,
+		SolveTimeout: *solveTimeout,
+		MaxPrograms:  *maxPrograms,
+		RetryAfter:   *retryAfter,
+		Metrics:      telemetry.New(),
+	}
+	if *faultSeed != 0 {
+		plan := faultinject.NewPlan(*faultSeed)
+		cfg.Faults = plan
+		fmt.Fprintf(os.Stderr, "kscope-serve: chaos mode: %s\n", plan)
+	}
+	switch {
+	case *smoke:
+		os.Exit(runSmoke(cfg))
+	case *loadgen:
+		os.Exit(runLoadgen(*target, *concurrency, *duration,
+			serve.SLO{MaxP50: *sloP50, MaxP99: *sloP99, MaxErrorRate: *sloErrors}))
+	default:
+		os.Exit(runDaemon(*addr, cfg))
+	}
+}
+
+// runDaemon serves until SIGINT/SIGTERM, then drains in-flight requests.
+func runDaemon(addr string, cfg serve.Config) int {
+	srv := serve.New(cfg)
+	hs := &http.Server{Addr: addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "kscope-serve: listening on http://%s (%d solve slots, budget %d steps/stage)\n",
+		addr, capacityOf(cfg), cfg.SolveSteps)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "kscope-serve:", err)
+		return 1
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "kscope-serve: shutting down (draining in-flight requests)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "kscope-serve: shutdown:", err)
+		return 1
+	}
+	return 0
+}
+
+func capacityOf(cfg serve.Config) int {
+	if cfg.MaxInflight > 0 {
+		return cfg.MaxInflight
+	}
+	return -1 // resolved to GOMAXPROCS inside serve.New
+}
+
+// runLoadgen drives load at a running daemon and gates on the SLO.
+func runLoadgen(target string, concurrency int, duration time.Duration, slo serve.SLO) int {
+	rep, err := serve.RunLoad(context.Background(), serve.LoadOpts{
+		Target:      target,
+		Concurrency: concurrency,
+		Duration:    duration,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kscope-serve -loadgen:", err)
+		return 2
+	}
+	fmt.Print(rep.Text())
+	if violations := rep.SLOViolations(slo); len(violations) != 0 {
+		fmt.Fprintln(os.Stderr, "SLO gate FAILED:")
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "  "+v)
+		}
+		return 1
+	}
+	fmt.Println("SLO gate passed")
+	return 0
+}
+
+// runSmoke is the CI gate: an in-process daemon on an ephemeral port, a
+// /healthz check, ~2s of generated load, one verified query round-trip,
+// and a clean graceful shutdown — any step failing fails the run.
+func runSmoke(cfg serve.Config) int {
+	fail := func(step string, err error) int {
+		fmt.Fprintf(os.Stderr, "serve-smoke: %s: %v\n", step, err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail("listen", err)
+	}
+	srv := serve.New(cfg)
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "serve-smoke: daemon on %s\n", base)
+
+	// 1. The daemon is alive and on its optimistic view.
+	var health struct{ Status, View string }
+	if err := getJSON(base+"/healthz", &health); err != nil {
+		return fail("/healthz", err)
+	}
+	if health.Status != "ok" || health.View != "optimistic" {
+		return fail("/healthz", fmt.Errorf("status=%q view=%q", health.Status, health.View))
+	}
+
+	// 2. Two seconds of concurrent load with a generous latency SLO and a
+	// zero-hard-error budget.
+	rep, err := serve.RunLoad(context.Background(), serve.LoadOpts{
+		Target: base, Concurrency: 8, Duration: 2 * time.Second,
+	})
+	if err != nil {
+		return fail("loadgen", err)
+	}
+	fmt.Print(rep.Text())
+	if violations := rep.SLOViolations(serve.SLO{MaxP99: 2 * time.Second}); len(violations) != 0 {
+		return fail("SLO gate", fmt.Errorf("%s", strings.Join(violations, "; ")))
+	}
+	if rep.OK == 0 {
+		return fail("loadgen", fmt.Errorf("no successful requests"))
+	}
+
+	// 3. One verified query round-trip: a pointer query whose fallback set
+	// must be non-empty.
+	body := strings.NewReader(`{"name":"smoke","source":"int g;\nint* pick() { return &g; }\nint main() { int* p; p = pick(); return *p; }","fn":"pick"}`)
+	resp, err := http.Post(base+"/pointsto", "application/json", body)
+	if err != nil {
+		return fail("/pointsto", err)
+	}
+	var pts struct {
+		Fallback []string `json:"fallback"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&pts)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || len(pts.Fallback) == 0 {
+		return fail("/pointsto", fmt.Errorf("status=%d fallback=%v err=%v", resp.StatusCode, pts.Fallback, err))
+	}
+	fmt.Fprintf(os.Stderr, "serve-smoke: query round-trip ok (pick() -> %v)\n", pts.Fallback)
+
+	// 4. Clean shutdown.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fail("shutdown", err)
+	}
+	fmt.Fprintln(os.Stderr, "serve-smoke: clean shutdown; PASS")
+	return 0
+}
+
+func getJSON(url string, into any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}

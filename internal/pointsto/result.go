@@ -158,6 +158,16 @@ func (r *Result) TopLevelPointers() []PtrRef {
 	return out
 }
 
+// ReturnPointsTo returns the canonical points-to set of fn's return-value
+// node (the PtrRef with an empty Reg), or nil if fn has none.
+func (r *Result) ReturnPointsTo(fn string) []ObjRef {
+	id, ok := r.a.retNodes[fn]
+	if !ok {
+		return nil
+	}
+	return r.canonicalRefs(id)
+}
+
 // SizeOf returns the canonical points-to set size of a PtrRef.
 func (r *Result) SizeOf(p PtrRef) int {
 	if p.Reg == "" {

@@ -39,9 +39,23 @@ type cacheEntry struct {
 // abort, injected fault), the waiters of that flight all receive the error,
 // the entry is invalidated, and the next request recomputes from scratch
 // (counter "runner/cache/invalidations").
+//
+// Error-entry invalidation ordering (load-bearing for concurrent waiters,
+// see TestCacheErrorInvalidation*): the failing leader first removes the
+// entry from the map, then closes done. Waiters of the failed flight hold a
+// pointer to the dead entry, so they still observe the shared error after
+// the close — invalidation is invisible to them. A request arriving after
+// the removal (including one racing the close) finds no entry, becomes the
+// leader of a fresh flight, and recomputes. The `c.entries[key] == e` guard
+// makes the delete a no-op if such a recompute has already replaced the
+// entry: a failing leader may only ever invalidate its *own* entry, never a
+// newer flight's. Consequently an error is delivered to exactly the waiters
+// of the flight that produced it, and at no point can a failed entry be
+// observed by a request that did not join that flight.
 type Cache struct {
 	metrics *telemetry.Registry
 	faults  *faultinject.Plan // armed fault plan; fires CachePoison per compute
+	budget  pointsto.Budget   // per-stage solver budget applied to every compute
 	mu      sync.Mutex
 	entries map[cacheKey]*cacheEntry
 }
@@ -57,6 +71,37 @@ func NewCache(metrics *telemetry.Registry) *Cache {
 // invalidation contract, is returned to that flight's waiters and not
 // cached). Must be set before the cache is used.
 func (c *Cache) SetFaults(p *faultinject.Plan) { c.faults = p }
+
+// SetBudget bounds every analysis this cache computes: each solver stage
+// runs under the given per-stage budget, and an exhausted budget surfaces to
+// the flight's waiters as a typed abort (errors.Is pointsto.ErrSolveAborted)
+// — which, per the invalidation contract, is never cached. The service
+// daemon uses this to keep one oversized submission from monopolizing the
+// solve capacity. Must be set before the cache is used.
+func (c *Cache) SetBudget(b pointsto.Budget) { c.budget = b }
+
+// Forget drops every memoized entry (all configurations) of the named
+// application and reports how many entries were removed. In-flight
+// computations are unaffected: a current leader still completes and
+// publishes to its waiters through the entry pointer they already hold —
+// the flight merely stops being findable, exactly like the error
+// invalidation path. Content-addressed frontends (internal/serve) use this
+// to evict a program's analyses when it falls out of their admission cache.
+func (c *Cache) Forget(app string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key := range c.entries {
+		if key.app == app {
+			delete(c.entries, key)
+			n++
+		}
+	}
+	if n > 0 {
+		c.metrics.Counter("runner/cache/evictions").Add(int64(n))
+	}
+	return n
+}
 
 // System returns the memoized analysis of app under cfg, computing it on
 // first request. It panics on computation failure; error-aware callers
@@ -84,9 +129,10 @@ func (c *Cache) SystemCtx(ctx context.Context, app *workload.App, cfg invariant.
 		e = &cacheEntry{done: make(chan struct{})}
 		c.entries[key] = e
 		c.mu.Unlock()
-		// Leader: compute, publish, and invalidate on error — in that order,
-		// so waiters of this flight still see the error before the entry
-		// disappears for future requests.
+		// Leader: compute; on error, invalidate (guarded, see the type
+		// comment) and only then close done. Waiters hold e, so they read
+		// the shared error regardless of the map state; future requests
+		// never find the dead entry and recompute from scratch.
 		c.metrics.Counter("runner/cache/misses").Inc()
 		e.sys, e.err = c.compute(ctx, app, cfg)
 		if e.err != nil {
@@ -132,6 +178,7 @@ func (c *Cache) compute(ctx context.Context, app *workload.App, cfg invariant.Co
 	return core.AnalyzeCtx(ctx, m, cfg, core.AnalyzeOpts{
 		Fallback: fallback,
 		Metrics:  c.metrics,
+		Budget:   c.budget,
 		Faults:   c.faults,
 	})
 }

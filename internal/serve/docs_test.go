@@ -1,0 +1,80 @@
+package serve
+
+// docs/API.md claims to document every registered route. Enforce it both
+// ways: every Route() entry must have a "### METHOD /path" heading in the
+// doc, and every such heading must name a registered route — so the doc can
+// neither lag behind a new endpoint nor describe a removed one.
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var apiHeading = regexp.MustCompile(`(?m)^### (GET|POST|PUT|DELETE|PATCH) (/\S+)\s*$`)
+
+func TestAPIDocCoversEveryRoute(t *testing.T) {
+	raw, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatalf("docs/API.md must exist: %v", err)
+	}
+	documented := map[string]bool{}
+	for _, m := range apiHeading.FindAllStringSubmatch(string(raw), -1) {
+		documented[m[1]+" "+m[2]] = true
+	}
+	registered := map[string]bool{}
+	for _, rt := range Routes() {
+		registered[rt.Method+" "+rt.Path] = true
+	}
+	for key := range registered {
+		if !documented[key] {
+			t.Errorf("route %q is registered but has no '### %s' heading in docs/API.md", key, key)
+		}
+	}
+	for key := range documented {
+		if !registered[key] {
+			t.Errorf("docs/API.md documents %q but the server does not register it", key)
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("no '### METHOD /path' headings found in docs/API.md")
+	}
+}
+
+// TestEveryRouteResponds drives each documented route with its documented
+// method and requires a non-404: the route table, the mux, and the doc
+// describe the same living surface.
+func TestEveryRouteResponds(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, rt := range Routes() {
+		var (
+			resp *http.Response
+			err  error
+		)
+		switch rt.Method {
+		case http.MethodGet:
+			resp, err = http.Get(ts.URL + rt.Path)
+		case http.MethodPost:
+			body := fmt.Sprintf(`{"source":%q}`, demoSource)
+			if rt.Path == "/pointsto" {
+				body = fmt.Sprintf(`{"source":%q,"fn":"main"}`, demoSource)
+			}
+			resp, err = http.Post(ts.URL+rt.Path, "application/json", strings.NewReader(body))
+		default:
+			t.Fatalf("route %s %s uses a method this test does not drive", rt.Method, rt.Path)
+		}
+		if err != nil {
+			t.Fatalf("%s %s: %v", rt.Method, rt.Path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s %s: status %d, want 200 — route table, mux, and doc disagree", rt.Method, rt.Path, resp.StatusCode)
+		}
+		if rt.Summary == "" {
+			t.Errorf("%s %s has no summary", rt.Method, rt.Path)
+		}
+	}
+}

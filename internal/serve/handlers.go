@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/cfi"
+	"repro/internal/pointsto"
+)
+
+// submission is the request body shared by every analysis endpoint.
+type submission struct {
+	// Name is a client-side label echoed in responses; it does not affect
+	// the program's cache identity.
+	Name string `json:"name,omitempty"`
+	// Source is the MiniC program text (required).
+	Source string `json:"source"`
+	// Config selects the invariant configuration: baseline, ctx, pa, pwc,
+	// ctx-pa, ctx-pwc, pa-pwc, all. Empty means all (full Kaleidoscope).
+	Config string `json:"config,omitempty"`
+}
+
+// analyzeResponse summarizes one analysis.
+type analyzeResponse struct {
+	Program          string `json:"program"` // SHA-256 content hash of the source
+	Name             string `json:"name,omitempty"`
+	Config           string `json:"config"`
+	Cached           bool   `json:"cached"` // served without a new solve
+	Objects          int    `json:"objects"`
+	ConstraintNodes  int    `json:"constraint_nodes"`
+	SolverIterations int    `json:"solver_iterations"`
+	Invariants       int    `json:"invariants"`
+	MonitorSites     int    `json:"monitor_sites"`
+	ICallSites       int    `json:"icall_sites"`
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) *apiError {
+	var req submission
+	if apiErr := s.decode(w, r, &req); apiErr != nil {
+		return apiErr
+	}
+	a, apiErr := s.system(r.Context(), req.Name, req.Source, req.Config)
+	if apiErr != nil {
+		return apiErr
+	}
+	opt := a.Sys.Optimistic
+	writeJSON(w, http.StatusOK, analyzeResponse{
+		Program:          a.Hash,
+		Name:             req.Name,
+		Config:           a.Cfg.Name(),
+		Cached:           a.Cached,
+		Objects:          len(opt.Objects()),
+		ConstraintNodes:  opt.NodeCount(),
+		SolverIterations: opt.Stats().Iterations,
+		Invariants:       len(a.Sys.Invariants()),
+		MonitorSites:     opt.Stats().MonitorSites,
+		ICallSites:       len(opt.ICallSites()),
+	})
+	return nil
+}
+
+// pointstoRequest asks for one register's points-to set. Reg "" names the
+// function's return-value node.
+type pointstoRequest struct {
+	submission
+	Fn  string `json:"fn"`
+	Reg string `json:"reg,omitempty"`
+}
+
+type pointstoResponse struct {
+	Program    string   `json:"program"`
+	Config     string   `json:"config"`
+	Fn         string   `json:"fn"`
+	Reg        string   `json:"reg,omitempty"`
+	Optimistic []string `json:"optimistic"` // object labels, precise while invariants hold
+	Fallback   []string `json:"fallback"`   // object labels, sound always
+}
+
+func (s *Server) handlePointsTo(w http.ResponseWriter, r *http.Request) *apiError {
+	var req pointstoRequest
+	if apiErr := s.decode(w, r, &req); apiErr != nil {
+		return apiErr
+	}
+	if req.Fn == "" {
+		return &apiError{Status: http.StatusBadRequest, Kind: "validation",
+			Msg: "missing required field: fn"}
+	}
+	a, apiErr := s.system(r.Context(), req.Name, req.Source, req.Config)
+	if apiErr != nil {
+		return apiErr
+	}
+	labels := func(res *pointsto.Result) []string {
+		var refs []pointsto.ObjRef
+		if req.Reg == "" {
+			refs = res.ReturnPointsTo(req.Fn)
+		} else {
+			refs = res.PointsTo(req.Fn, req.Reg)
+		}
+		out := make([]string, 0, len(refs))
+		for _, ref := range refs {
+			out = append(out, ref.String())
+		}
+		return out
+	}
+	writeJSON(w, http.StatusOK, pointstoResponse{
+		Program:    a.Hash,
+		Config:     a.Cfg.Name(),
+		Fn:         req.Fn,
+		Reg:        req.Reg,
+		Optimistic: labels(a.Sys.Optimistic),
+		Fallback:   labels(a.Sys.Fallback),
+	})
+	return nil
+}
+
+// cfiTargetsRequest asks for CFI target sets; Site nil means every indirect
+// callsite in the program.
+type cfiTargetsRequest struct {
+	submission
+	Site *int `json:"site,omitempty"`
+}
+
+type cfiSite struct {
+	Site       int      `json:"site"`
+	Optimistic []string `json:"optimistic"`
+	Fallback   []string `json:"fallback"`
+}
+
+type cfiTargetsResponse struct {
+	Program string    `json:"program"`
+	Config  string    `json:"config"`
+	Sites   []cfiSite `json:"sites"`
+}
+
+func (s *Server) handleCFITargets(w http.ResponseWriter, r *http.Request) *apiError {
+	var req cfiTargetsRequest
+	if apiErr := s.decode(w, r, &req); apiErr != nil {
+		return apiErr
+	}
+	a, apiErr := s.system(r.Context(), req.Name, req.Source, req.Config)
+	if apiErr != nil {
+		return apiErr
+	}
+	opt := cfi.PolicyFrom(a.Sys.Optimistic)
+	fb := cfi.PolicyFrom(a.Sys.Fallback)
+	sites := opt.Sites
+	if req.Site != nil {
+		found := false
+		for _, site := range sites {
+			if site == *req.Site {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return &apiError{Status: http.StatusBadRequest, Kind: "validation",
+				Msg: "no indirect callsite at instruction #" + strconv.Itoa(*req.Site)}
+		}
+		sites = []int{*req.Site}
+	}
+	resp := cfiTargetsResponse{Program: a.Hash, Config: a.Cfg.Name(), Sites: []cfiSite{}}
+	for _, site := range sites {
+		resp.Sites = append(resp.Sites, cfiSite{
+			Site:       site,
+			Optimistic: nonNil(opt.Targets[site]),
+			Fallback:   nonNil(fb.Targets[site]),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+type invariantRecord struct {
+	Kind string `json:"kind"`
+	Site int    `json:"site"`
+	Desc string `json:"desc"`
+}
+
+type invariantsResponse struct {
+	Program      string            `json:"program"`
+	Config       string            `json:"config"`
+	Invariants   []invariantRecord `json:"invariants"`
+	MonitorSites int               `json:"monitor_sites"`
+}
+
+func (s *Server) handleInvariants(w http.ResponseWriter, r *http.Request) *apiError {
+	var req submission
+	if apiErr := s.decode(w, r, &req); apiErr != nil {
+		return apiErr
+	}
+	a, apiErr := s.system(r.Context(), req.Name, req.Source, req.Config)
+	if apiErr != nil {
+		return apiErr
+	}
+	resp := invariantsResponse{
+		Program:      a.Hash,
+		Config:       a.Cfg.Name(),
+		Invariants:   []invariantRecord{},
+		MonitorSites: a.Sys.Optimistic.Stats().MonitorSites,
+	}
+	for _, rec := range a.Sys.Invariants() {
+		resp.Invariants = append(resp.Invariants, invariantRecord{
+			Kind: rec.Kind.String(), Site: rec.Site, Desc: rec.Desc,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// healthResponse is the /healthz body. View and Status carry the service's
+// degradation state (see the package comment).
+type healthResponse struct {
+	Status           string `json:"status"` // "ok" | "degraded"
+	View             string `json:"view"`   // "optimistic" | "fallback"
+	UptimeMS         int64  `json:"uptime_ms"`
+	Inflight         int    `json:"inflight"`
+	Capacity         int    `json:"capacity"`
+	CachedPrograms   int    `json:"cached_programs"`
+	DegradedSwitches int64  `json:"degraded_switches"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) *apiError {
+	s.mu.Lock()
+	programs := len(s.apps)
+	s.mu.Unlock()
+	status, view := "ok", "optimistic"
+	if s.degraded.Load() {
+		status, view = "degraded", "fallback"
+	}
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:           status,
+		View:             view,
+		UptimeMS:         time.Since(s.start).Milliseconds(),
+		Inflight:         len(s.sem),
+		Capacity:         s.cfg.MaxInflight,
+		CachedPrograms:   programs,
+		DegradedSwitches: s.metrics.Counter("serve/switch/degraded").Value(),
+	})
+	return nil
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) *apiError {
+	snap := s.metrics.Snapshot()
+	snap.Spans = nil // spans grow without bound; /metricsz is a gauge, not a trace sink
+	writeJSON(w, http.StatusOK, snap)
+	return nil
+}
+
+func nonNil(ss []string) []string {
+	if ss == nil {
+		return []string{}
+	}
+	return ss
+}

@@ -1,0 +1,316 @@
+package serve
+
+// The load generator drives concurrent client sessions against a running
+// kscope-serve daemon and reports latency percentiles from the same
+// telemetry histograms the server side uses, so client-observed p50/p99 and
+// server-side /metricsz speak one vocabulary. An SLO gate turns the report
+// into an exit code (cmd/kscope-serve -loadgen).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// LoadOpts configures one load run.
+type LoadOpts struct {
+	// Target is the daemon's base URL, e.g. "http://127.0.0.1:8350".
+	Target string
+	// Concurrency is the number of concurrent client sessions. Default 8.
+	Concurrency int
+	// Duration is how long to keep the sessions running. Default 2s.
+	Duration time.Duration
+	// Client overrides the HTTP client (tests inject httptest clients).
+	Client *http.Client
+	// Metrics receives the loadgen/* histograms; nil uses a private
+	// registry.
+	Metrics *telemetry.Registry
+}
+
+// SLO is the latency/error gate of a load run. Zero fields are unchecked.
+type SLO struct {
+	MaxP50       time.Duration
+	MaxP99       time.Duration
+	MaxErrorRate float64 // hard errors / requests; 503 sheds are not errors
+}
+
+// EndpointStat is one endpoint's client-observed latency distribution.
+type EndpointStat struct {
+	Requests int64         `json:"requests"`
+	P50      time.Duration `json:"p50_ns"`
+	P90      time.Duration `json:"p90_ns"`
+	P99      time.Duration `json:"p99_ns"`
+	Max      time.Duration `json:"max_ns"`
+}
+
+// LoadReport is the outcome of one load run.
+type LoadReport struct {
+	Elapsed   time.Duration           `json:"elapsed_ns"`
+	Requests  int64                   `json:"requests"`
+	OK        int64                   `json:"ok"`       // 2xx
+	Rejected  int64                   `json:"rejected"` // 503 (admission shed or solve budget)
+	Errors    int64                   `json:"errors"`   // everything else, transport errors included
+	P50       time.Duration           `json:"p50_ns"`
+	P90       time.Duration           `json:"p90_ns"`
+	P99       time.Duration           `json:"p99_ns"`
+	Max       time.Duration           `json:"max_ns"`
+	Endpoints map[string]EndpointStat `json:"endpoints"`
+}
+
+// loadPrograms are the submission mix: small MiniC programs with indirect
+// calls (so /cfi-targets and /invariants have substance). The first program
+// dominates the mix, so most requests exercise the content-hash cache the
+// way production clients re-querying one deployed binary would.
+var loadPrograms = []struct{ name, source string }{
+	{"dispatch", `
+struct ops { fn handler; int* data; }
+ops table;
+int buf[16];
+int hello(int* x) { return 42; }
+int bye(int* x) { return 7; }
+void scrub(char* p, int n) {
+  int i;
+  i = 0;
+  while (i < n) { *(p + i) = 0; i = i + 1; }
+}
+int main() {
+  char* p;
+  table.handler = &hello;
+  if (input() % 2 == 0) { table.handler = &bye; }
+  p = buf;
+  scrub(p, input() % 16);
+  return table.handler(buf);
+}
+`},
+	{"callbacks", `
+struct node { int* payload; fn cb; }
+node slots[4];
+int a; int b;
+int first(int* x) { return 1; }
+int second(int* x) { return 2; }
+int main() {
+  int i;
+  slots[0].cb = &first;
+  slots[1].cb = &second;
+  slots[0].payload = &a;
+  slots[1].payload = &b;
+  i = input() % 2;
+  return slots[i].cb(slots[i].payload);
+}
+`},
+	{"swap", `
+int x; int y;
+void swap(int** p, int** q) {
+  int* t;
+  t = *p;
+  *p = *q;
+  *q = t;
+}
+int main() {
+  int* a; int* b;
+  a = &x;
+  b = &y;
+  swap(&a, &b);
+  return *a + *b;
+}
+`},
+}
+
+// loadConfigs is the configuration mix.
+var loadConfigs = []string{"all", "baseline", "pa-pwc"}
+
+// RunLoad drives Concurrency sessions against Target for Duration and
+// returns the aggregated report. The context cancels the run early;
+// transport-level failures are counted, not fatal, so a daemon dying
+// mid-run yields a report with errors rather than no report.
+func RunLoad(ctx context.Context, o LoadOpts) (*LoadReport, error) {
+	if o.Target == "" {
+		return nil, fmt.Errorf("loadgen: no target URL")
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	metrics := o.Metrics
+	if metrics == nil {
+		metrics = telemetry.New()
+	}
+	var requests, ok, rejected, errs atomic.Int64
+	deadline := time.Now().Add(o.Duration)
+	runCtx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+
+	session := func(worker int) {
+		target := strings.TrimSuffix(o.Target, "/")
+		all := metrics.Histogram("loadgen/latency-ns/all")
+		n := 0
+		for time.Now().Before(deadline) && runCtx.Err() == nil {
+			prog := loadPrograms[pick(worker, n, 7, len(loadPrograms))]
+			cfg := loadConfigs[pick(worker, n, 11, len(loadConfigs))]
+			endpoint, body := nextRequest(worker, n, prog.name, prog.source, cfg)
+			start := time.Now()
+			status, err := postJSON(runCtx, o.Client, target+endpoint, body)
+			if err != nil && runCtx.Err() != nil {
+				// The run's deadline cut this request off mid-flight; that is
+				// the generator stopping, not the daemon failing.
+				break
+			}
+			lat := time.Since(start)
+			all.Observe(lat.Nanoseconds())
+			metrics.Histogram("loadgen/latency-ns" + endpoint).Observe(lat.Nanoseconds())
+			metrics.Counter("loadgen/requests" + endpoint).Inc()
+			requests.Add(1)
+			switch {
+			case err != nil:
+				errs.Add(1)
+				metrics.Counter("loadgen/transport-errors").Inc()
+			case status >= 200 && status < 300:
+				ok.Add(1)
+			case status == http.StatusServiceUnavailable:
+				rejected.Add(1)
+			default:
+				errs.Add(1)
+				metrics.Counter(fmt.Sprintf("loadgen/status/%d", status)).Inc()
+			}
+			n++
+		}
+	}
+	started := time.Now()
+	done := make(chan struct{})
+	for w := 0; w < o.Concurrency; w++ {
+		go func(w int) { session(w); done <- struct{}{} }(w)
+	}
+	for w := 0; w < o.Concurrency; w++ {
+		<-done
+	}
+	elapsed := time.Since(started)
+
+	snap := metrics.Snapshot()
+	rep := &LoadReport{
+		Elapsed:   elapsed,
+		Requests:  requests.Load(),
+		OK:        ok.Load(),
+		Rejected:  rejected.Load(),
+		Errors:    errs.Load(),
+		Endpoints: map[string]EndpointStat{},
+	}
+	if h, found := snap.Histograms["loadgen/latency-ns/all"]; found {
+		rep.P50, rep.P90, rep.P99, rep.Max =
+			time.Duration(h.P50), time.Duration(h.P90), time.Duration(h.P99), time.Duration(h.Max)
+	}
+	for name, h := range snap.Histograms {
+		endpoint, isEndpoint := strings.CutPrefix(name, "loadgen/latency-ns/")
+		if !isEndpoint || endpoint == "all" {
+			continue
+		}
+		rep.Endpoints["/"+endpoint] = EndpointStat{
+			Requests: h.Count,
+			P50:      time.Duration(h.P50),
+			P90:      time.Duration(h.P90),
+			P99:      time.Duration(h.P99),
+			Max:      time.Duration(h.Max),
+		}
+	}
+	return rep, nil
+}
+
+// pick deterministically mixes worker and sequence number into an index, so
+// the request mix is reproducible without a shared RNG.
+func pick(worker, n, stride, mod int) int {
+	return ((worker+1)*stride + n) % mod
+}
+
+// nextRequest rotates through the four analysis endpoints.
+func nextRequest(worker, n int, name, source, cfg string) (endpoint string, body map[string]any) {
+	body = map[string]any{"name": name, "source": source, "config": cfg}
+	switch (worker + n) % 4 {
+	case 0:
+		return "/analyze", body
+	case 1:
+		body["fn"] = "main"
+		return "/pointsto", body
+	case 2:
+		return "/cfi-targets", body
+	default:
+		return "/invariants", body
+	}
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, body map[string]any) (int, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// SLOViolations checks the report against the gate and returns one line per
+// violated objective (empty = the run passes).
+func (r *LoadReport) SLOViolations(slo SLO) []string {
+	var out []string
+	if slo.MaxP50 > 0 && r.P50 > slo.MaxP50 {
+		out = append(out, fmt.Sprintf("p50 %v exceeds SLO %v", r.P50, slo.MaxP50))
+	}
+	if slo.MaxP99 > 0 && r.P99 > slo.MaxP99 {
+		out = append(out, fmt.Sprintf("p99 %v exceeds SLO %v", r.P99, slo.MaxP99))
+	}
+	if slo.MaxErrorRate >= 0 && r.Requests > 0 {
+		rate := float64(r.Errors) / float64(r.Requests)
+		if rate > slo.MaxErrorRate {
+			out = append(out, fmt.Sprintf("error rate %.4f exceeds SLO %.4f (%d/%d)",
+				rate, slo.MaxErrorRate, r.Errors, r.Requests))
+		}
+	}
+	return out
+}
+
+// Text renders the report for terminals.
+func (r *LoadReport) Text() string {
+	var b strings.Builder
+	rps := float64(0)
+	if r.Elapsed > 0 {
+		rps = float64(r.Requests) / r.Elapsed.Seconds()
+	}
+	fmt.Fprintf(&b, "loadgen: %d requests in %v (%.0f req/s): %d ok, %d rejected (503), %d errors\n",
+		r.Requests, r.Elapsed.Round(time.Millisecond), rps, r.OK, r.Rejected, r.Errors)
+	fmt.Fprintf(&b, "latency: p50=%v p90=%v p99=%v max=%v\n",
+		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+	endpoints := make([]string, 0, len(r.Endpoints))
+	for e := range r.Endpoints {
+		endpoints = append(endpoints, e)
+	}
+	sort.Strings(endpoints)
+	for _, e := range endpoints {
+		s := r.Endpoints[e]
+		fmt.Fprintf(&b, "  %-14s n=%-6d p50=%-10v p99=%-10v max=%v\n",
+			e, s.Requests, s.P50.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+			s.Max.Round(time.Microsecond))
+	}
+	return b.String()
+}

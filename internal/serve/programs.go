@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/invariant"
+	"repro/internal/pointsto"
+	"repro/internal/workload"
+)
+
+// hashSource returns the content identity of a submission: the hex SHA-256
+// of the source text. The client-supplied name is deliberately excluded —
+// two submissions with the same bytes are the same program, whatever they
+// are called, so renamed resubmissions still hit the cache.
+func hashSource(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:])
+}
+
+// progName is the canonical analysis-cache identity of a content hash (the
+// workload.App name the runner.Cache keys on).
+func progName(hash string) string { return "prog-" + hash[:16] }
+
+// lookupProgram returns the synthesized workload for the hash, inserting
+// (and evicting, FIFO, past MaxPrograms) as needed. The bool reports
+// whether the program was already present.
+func (s *Server) lookupProgram(hash, src string) (*workload.App, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if app := s.apps[hash]; app != nil {
+		return app, true
+	}
+	if len(s.apps) >= s.cfg.MaxPrograms {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		delete(s.apps, victim)
+		for k := range s.solved {
+			if k.hash == victim {
+				delete(s.solved, k)
+			}
+		}
+		s.cache.Forget(progName(victim))
+		s.metrics.Counter("serve/cache/programs-evicted").Inc()
+	}
+	app := &workload.App{Name: progName(hash), Source: src}
+	s.apps[hash] = app
+	s.order = append(s.order, hash)
+	s.metrics.Gauge("serve/cache/programs").Set(int64(len(s.apps)))
+	return app, false
+}
+
+// isSolved reports whether (hash, cfg) has a completed analysis — the
+// cheap-lookup fast path that stays servable on the fallback view.
+func (s *Server) isSolved(k solvedKey) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.solved[k]
+}
+
+func (s *Server) markSolved(k solvedKey) {
+	s.mu.Lock()
+	s.solved[k] = true
+	s.mu.Unlock()
+}
+
+// analysis is a served analysis plus its cache provenance.
+type analysis struct {
+	Sys    *core.System
+	Hash   string
+	Cfg    invariant.Config
+	Cached bool // answered from the content-hash cache, no new solve
+}
+
+// system resolves a submission to its analyzed System: content-hash lookup,
+// admission (skipped for already-solved pairs), then the budgeted
+// single-flight solve. Every failure maps to a typed apiError:
+// 400 for programs that do not compile or configs that do not parse,
+// 503 kind "overloaded" for shed requests, 503 kind "budget" for solver
+// budget/timeout exhaustion, 500 for anything else (e.g. injected faults).
+func (s *Server) system(ctx context.Context, name, src, cfgName string) (*analysis, *apiError) {
+	if src == "" {
+		return nil, &apiError{Status: http.StatusBadRequest, Kind: "validation",
+			Msg: "missing required field: source"}
+	}
+	cfg, err := parseConfig(cfgName)
+	if err != nil {
+		return nil, &apiError{Status: http.StatusBadRequest, Kind: "validation", Msg: err.Error()}
+	}
+	hash := hashSource(src)
+	app, _ := s.lookupProgram(hash, src)
+	// Compile before admission: a malformed program must cost a parse, not
+	// a solve slot. The module is memoized inside the App, so this is free
+	// for every request after the first.
+	if _, err := app.Module(); err != nil {
+		s.metrics.Counter("serve/errors/compile").Inc()
+		return nil, &apiError{Status: http.StatusBadRequest, Kind: "validation",
+			Msg: fmt.Sprintf("program %q does not compile: %v", name, err)}
+	}
+	key := solvedKey{hash: hash, cfg: cfg.Name()}
+	cached := s.isSolved(key)
+	if cached {
+		s.metrics.Counter("serve/cache/hits").Inc()
+	} else {
+		s.metrics.Counter("serve/cache/misses").Inc()
+		release, apiErr := s.admit(ctx)
+		if apiErr != nil {
+			return nil, apiErr
+		}
+		defer release()
+		s.mu.Lock()
+		hold := s.testHoldSolve
+		s.mu.Unlock()
+		if hold != nil {
+			hold()
+		}
+	}
+	if s.cfg.SolveTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
+		defer cancel()
+	}
+	sys, err := s.cache.SystemCtx(ctx, app, cfg)
+	if err != nil {
+		if errors.Is(err, pointsto.ErrSolveAborted) {
+			return nil, &apiError{Status: http.StatusServiceUnavailable, Kind: "budget",
+				Msg: fmt.Sprintf("analysis exceeded its solve budget and was aborted (no partial result): %v", err),
+				RetryAfter: s.cfg.RetryAfter}
+		}
+		return nil, &apiError{Status: http.StatusInternalServerError, Kind: "internal",
+			Msg: fmt.Sprintf("analysis failed: %v", err)}
+	}
+	s.markSolved(key)
+	return &analysis{Sys: sys, Hash: hash, Cfg: cfg, Cached: cached}, nil
+}

@@ -1,0 +1,363 @@
+// Package serve is the analysis-as-a-service layer behind cmd/kscope-serve:
+// a long-running HTTP/JSON daemon that accepts MiniC programs and answers
+// points-to, CFI-target, and invariant queries on demand instead of per
+// batch invocation.
+//
+// The request lifecycle is admission → content-hash cache → single-flight
+// solve → budgeted analysis → response:
+//
+//   - A bounded admission semaphore (Config.MaxInflight) caps concurrent
+//     solves; a request that cannot get a slot within Config.QueueTimeout is
+//     shed with a typed 503 and a Retry-After hint.
+//   - Submissions are identified by the SHA-256 of their source; together
+//     with the invariant configuration that hash keys the analysis cache, so
+//     a repeated submission (whatever its claimed name) is answered without
+//     a second solve, and identical concurrent submissions coalesce into one
+//     solve through the single-flight runner.Cache underneath.
+//   - Every solve runs under the per-stage step budget and wall-clock
+//     timeout of the server; an exhausted budget is a typed 503
+//     (kind "budget"), never a partial result (pointsto.ErrSolveAborted).
+//
+// Overload degrades the way the memview Switcher degrades a hardened
+// execution: the server starts on its optimistic view (requests queue
+// politely for a slot) and a shed request switches it to the fallback view,
+// where uncached work is rejected immediately while already-solved programs
+// keep answering from the cache. Unlike the Switcher's one-way gate the
+// service switch is reversible — the next admitted request switches back —
+// because an overloaded server, unlike a violated invariant, heals.
+// Transitions count into "serve/switch/degraded" and
+// "serve/switch/recovered"; /healthz reports the current view.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/invariant"
+	"repro/internal/pointsto"
+	"repro/internal/runner"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// Config configures a Server. The zero value gets sensible defaults from
+// New (documented per field).
+type Config struct {
+	// Metrics receives the serve/* instruments and is attached to every
+	// analysis. nil creates a private registry (exposed via /metricsz).
+	Metrics *telemetry.Registry
+
+	// MaxBodyBytes caps a request body; beyond it the request is refused
+	// with 413. Default 1 MiB.
+	MaxBodyBytes int64
+
+	// MaxInflight bounds concurrently admitted solves. Default GOMAXPROCS.
+	MaxInflight int
+
+	// QueueTimeout is how long an admission-blocked request waits for a
+	// slot before being shed with 503. Default 2s. In the degraded view the
+	// wait is skipped entirely.
+	QueueTimeout time.Duration
+
+	// SolveSteps bounds each solver stage of an admitted analysis
+	// (pointsto.Budget.MaxSteps); 0 = unlimited. Exhaustion is a typed 503.
+	SolveSteps int64
+
+	// SolveTimeout bounds an admitted analysis' wall clock; 0 = unlimited.
+	// Expiry surfaces exactly like budget exhaustion (typed 503).
+	SolveTimeout time.Duration
+
+	// MaxPrograms caps distinct cached programs; inserting beyond it evicts
+	// the oldest submission (and its solved analyses). Default 128.
+	MaxPrograms int
+
+	// RetryAfter is the hint sent with every 503 (Retry-After header and
+	// retry_after_ms field). Default 1s.
+	RetryAfter time.Duration
+
+	// Faults optionally arms fault injection on the analysis pipeline
+	// (CachePoison, SolverBudget), for chaos-testing the daemon.
+	Faults *faultinject.Plan
+}
+
+// solvedKey identifies one completed analysis in the content-hash cache.
+type solvedKey struct {
+	hash string // SHA-256 of the submitted source
+	cfg  string // invariant configuration name
+}
+
+// Server is the analysis-as-a-service daemon. Create with New; it
+// implements http.Handler. Safe for concurrent use.
+type Server struct {
+	cfg     Config
+	metrics *telemetry.Registry
+	cache   *runner.Cache // single-flight (program, config) → *core.System
+	sem     chan struct{} // admission slots
+	mux     *http.ServeMux
+	start   time.Time
+
+	// degraded is the service view: false = optimistic (queue for a slot),
+	// true = fallback (shed uncached work immediately). See package doc.
+	degraded atomic.Bool
+
+	mu     sync.Mutex
+	apps   map[string]*workload.App // content hash → synthesized program
+	order  []string                 // insertion order, for eviction
+	solved map[solvedKey]bool       // completed solves servable without admission
+
+	// testHoldSolve, when set by a test, runs while the request holds its
+	// admission slot, letting tests pin the server at capacity.
+	testHoldSolve func()
+}
+
+// New builds a Server from cfg, applying defaults for zero fields.
+func New(cfg Config) *Server {
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.New()
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = 2 * time.Second
+	}
+	if cfg.MaxPrograms <= 0 {
+		cfg.MaxPrograms = 128
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	s := &Server{
+		cfg:     cfg,
+		metrics: cfg.Metrics,
+		cache:   runner.NewCache(cfg.Metrics),
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		start:   time.Now(),
+		apps:    map[string]*workload.App{},
+		solved:  map[solvedKey]bool{},
+	}
+	s.cache.SetBudget(pointsto.Budget{MaxSteps: cfg.SolveSteps})
+	if cfg.Faults != nil {
+		cfg.Faults.SetMetrics(cfg.Metrics)
+		s.cache.SetFaults(cfg.Faults)
+	}
+	s.mux = http.NewServeMux()
+	for _, rt := range Routes() {
+		s.mux.HandleFunc(rt.Path, s.instrumented(rt))
+	}
+	return s
+}
+
+// Route describes one registered endpoint. docs/API.md documents exactly
+// this table; TestAPIDocCoversRoutes diffs the two.
+type Route struct {
+	Method  string
+	Path    string
+	Summary string
+}
+
+// Routes returns every endpoint the server registers, in documentation
+// order.
+func Routes() []Route {
+	return []Route{
+		{"POST", "/analyze", "compile + analyze a MiniC program, return the analysis summary"},
+		{"POST", "/pointsto", "points-to set of one register under both memory views"},
+		{"POST", "/cfi-targets", "permitted indirect-call targets per callsite, both views"},
+		{"POST", "/invariants", "likely invariants assumed by the optimistic analysis"},
+		{"GET", "/healthz", "liveness, service view, admission and cache occupancy"},
+		{"GET", "/metricsz", "telemetry snapshot (counters, gauges, timers, histograms)"},
+	}
+}
+
+// ServeHTTP dispatches to the registered routes; unknown paths get a JSON
+// 404 so every response the daemon emits is machine-readable.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if _, pattern := s.mux.Handler(r); pattern == "" {
+		s.writeError(w, &apiError{Status: http.StatusNotFound, Kind: "not-found",
+			Msg: fmt.Sprintf("no such endpoint %s (see docs/API.md)", r.URL.Path)})
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// Metrics returns the server's telemetry registry (the /metricsz source).
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics }
+
+// Degraded reports whether the service is on its fallback view.
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
+// handler is the signature shared by all endpoint handlers: a nil return
+// means the handler already wrote its (successful) response.
+type handler func(w http.ResponseWriter, r *http.Request) *apiError
+
+// instrumented wires one route's method check, request counter, and latency
+// histogram around its handler.
+func (s *Server) instrumented(rt Route) http.HandlerFunc {
+	var h handler
+	switch rt.Path {
+	case "/analyze":
+		h = s.handleAnalyze
+	case "/pointsto":
+		h = s.handlePointsTo
+	case "/cfi-targets":
+		h = s.handleCFITargets
+	case "/invariants":
+		h = s.handleInvariants
+	case "/healthz":
+		h = s.handleHealthz
+	case "/metricsz":
+		h = s.handleMetricsz
+	default:
+		panic("serve: route with no handler: " + rt.Path)
+	}
+	latency := s.metrics.Histogram("serve/latency-ns" + rt.Path)
+	requests := s.metrics.Counter("serve/requests" + rt.Path)
+	return func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		start := time.Now()
+		defer func() { latency.Observe(time.Since(start).Nanoseconds()) }()
+		if r.Method != rt.Method {
+			w.Header().Set("Allow", rt.Method)
+			s.writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Kind: "method",
+				Msg: fmt.Sprintf("%s requires %s", rt.Path, rt.Method)})
+			return
+		}
+		if apiErr := h(w, r); apiErr != nil {
+			s.writeError(w, apiErr)
+		}
+	}
+}
+
+// apiError is a typed error response; every non-2xx the daemon emits is one.
+type apiError struct {
+	Status     int           // HTTP status code
+	Kind       string        // validation | oversized | method | not-found | overloaded | budget | internal
+	Msg        string        // human-readable detail
+	RetryAfter time.Duration // >0 adds the Retry-After header + retry_after_ms field
+}
+
+// errorBody is the JSON wire form of an apiError.
+type errorBody struct {
+	Error        string `json:"error"`
+	Kind         string `json:"kind"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, e *apiError) {
+	s.metrics.Counter("serve/errors/" + e.Kind).Inc()
+	if e.RetryAfter > 0 {
+		secs := int64((e.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, e.Status, errorBody{Error: e.Msg, Kind: e.Kind, RetryAfterMS: int64(e.RetryAfter / time.Millisecond)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // a failed write means the client is gone; nothing to do
+}
+
+// decode parses a JSON request body under the body-size cap.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) *apiError {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &apiError{Status: http.StatusRequestEntityTooLarge, Kind: "oversized",
+				Msg: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)}
+		}
+		return &apiError{Status: http.StatusBadRequest, Kind: "validation",
+			Msg: "malformed request body: " + err.Error()}
+	}
+	return nil
+}
+
+// parseConfig maps the wire config name to an invariant.Config. Empty
+// selects the full Kaleidoscope configuration.
+func parseConfig(name string) (invariant.Config, error) {
+	switch strings.ToLower(name) {
+	case "", "all", "kaleidoscope":
+		return invariant.All(), nil
+	case "baseline", "none":
+		return invariant.Config{}, nil
+	case "ctx":
+		return invariant.Config{Ctx: true}, nil
+	case "pa":
+		return invariant.Config{PA: true}, nil
+	case "pwc":
+		return invariant.Config{PWC: true}, nil
+	case "ctx-pa":
+		return invariant.Config{Ctx: true, PA: true}, nil
+	case "ctx-pwc":
+		return invariant.Config{Ctx: true, PWC: true}, nil
+	case "pa-pwc":
+		return invariant.Config{PA: true, PWC: true}, nil
+	}
+	return invariant.Config{}, fmt.Errorf("unknown config %q (want baseline|ctx|pa|pwc|ctx-pa|ctx-pwc|pa-pwc|all)", name)
+}
+
+// admit acquires an admission slot, waiting up to QueueTimeout on the
+// optimistic view and not at all on the fallback view. The returned release
+// must be called exactly once. A shed request switches the service to the
+// fallback view; an admitted one switches it back.
+func (s *Server) admit(ctx context.Context) (release func(), apiErr *apiError) {
+	admitted := func() func() {
+		s.metrics.Counter("serve/admission/admitted").Inc()
+		s.metrics.Gauge("serve/inflight").Set(int64(len(s.sem)))
+		if s.degraded.CompareAndSwap(true, false) {
+			s.metrics.Counter("serve/switch/recovered").Inc()
+		}
+		return func() {
+			<-s.sem
+			s.metrics.Gauge("serve/inflight").Set(int64(len(s.sem)))
+		}
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return admitted(), nil
+	default:
+	}
+	if !s.degraded.Load() {
+		// Optimistic view: queue politely for a slot.
+		wait := time.NewTimer(s.cfg.QueueTimeout)
+		defer wait.Stop()
+		select {
+		case s.sem <- struct{}{}:
+			return admitted(), nil
+		case <-ctx.Done():
+			return nil, s.overloaded("request cancelled while queued for a solve slot")
+		case <-wait.C:
+		}
+	} else {
+		s.metrics.Counter("serve/admission/fast-shed").Inc()
+	}
+	// Shed: switch (idempotently) to the fallback view.
+	s.metrics.Counter("serve/admission/rejected").Inc()
+	if s.degraded.CompareAndSwap(false, true) {
+		s.metrics.Counter("serve/switch/degraded").Inc()
+	}
+	return nil, s.overloaded(fmt.Sprintf("all %d solve slots busy", s.cfg.MaxInflight))
+}
+
+func (s *Server) overloaded(msg string) *apiError {
+	return &apiError{Status: http.StatusServiceUnavailable, Kind: "overloaded",
+		Msg: msg, RetryAfter: s.cfg.RetryAfter}
+}
