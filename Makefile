@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-smoke fuzz-smoke chaos-smoke serve-smoke check
+.PHONY: all build test race race-parallel vet bench bench-json bench-smoke fuzz-smoke chaos-smoke serve-smoke check
 
 all: check
 
@@ -20,6 +20,15 @@ test:
 race:
 	$(GO) test -race ./internal/runner ./internal/telemetry ./internal/memview ./internal/interp ./internal/pointsto ./internal/chaos ./internal/serve
 
+## race-parallel: the parallel wave solver's byte-identity harness under the
+## race detector — the full differential strategy cube (worklist / wave /
+## parallel x 1,2,8 workers x delta x prep), the parallel budget/resume,
+## determinism, telemetry, and tracer-fallback tests, and the seeded corpus
+## of the parallel-equivalence fuzzer
+race-parallel:
+	$(GO) test -race -run '^(TestDifferential|TestParallel|TestTopoOrderLevels|FuzzParallelEquivalence)' -v ./internal/pointsto
+	$(GO) test -race -run '^(TestCacheParallel|TestCacheComputeOptsParallel|TestParallel)' ./internal/runner ./internal/serve
+
 ## vet: static checks
 vet:
 	$(GO) vet ./...
@@ -28,10 +37,11 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-## bench-json: solver-core ablation (full / delta / prep) over the paper apps
-## and the scaled randprog family, exported machine-readable to
+## bench-json: solver-core ablation (full / delta / prep / parallel) over the
+## paper apps and the scaled randprog family, exported machine-readable to
 ## BENCH_solver.json (ns/op, allocs/op, graph sizes, propagated-bit and
-## preprocessing counters per workload and mode)
+## preprocessing counters per workload and mode). On hosts with >= 4 CPUs it
+## additionally gates a >= 2x parallel-solver speedup on randprog-100k.
 bench-json:
 	BENCH_JSON=BENCH_solver.json $(GO) test -run '^TestWriteBenchJSON$$' -timeout 30m -v .
 

@@ -82,6 +82,20 @@ func TestGoldenOutput(t *testing.T) {
 			t.Errorf("-parallel %d traced render recorded no spans", p)
 		}
 	}
+	// The parallel wave solver (-parallel-solve) must be invisible to the
+	// artifacts: with every analysis solved by the level-parallel strategy —
+	// at 1 (inline phase-separated), 4, and 8 workers — the rendered bytes
+	// stay identical to the sequential golden reference. This is the
+	// byte-identity acceptance gate for the parallel strategy at the CLI
+	// surface.
+	for _, n := range []int{1, 4, 8} {
+		prevSolve := pointsto.SetDefaultParallel(n)
+		got := renderDeterministic(t, 1, nil)
+		pointsto.SetDefaultParallel(prevSolve)
+		if got != ref {
+			t.Errorf("-parallel-solve %d output diverges from sequential golden:\n%s", n, firstDiff(ref, got))
+		}
+	}
 	// Offline preprocessing must be invisible to the artifacts: with HVN +
 	// hybrid cycle detection disabled the rendered bytes stay identical to
 	// the (prep-on) golden reference at every pool width. This is the

@@ -19,6 +19,9 @@
 //	-fuzz N            fuzzing executions per application (default 400)
 //	-seed N            base RNG seed (default 1)
 //	-parallel N        worker-pool width (0 = GOMAXPROCS, 1 = serial)
+//	-parallel-solve N  solve every analysis with the parallel wave solver at
+//	                   N workers (0 = sequential); artifacts stay
+//	                   byte-identical to a sequential run
 //	-metrics           print a solver/interpreter telemetry snapshot on stderr
 //	-metrics-json F    write the telemetry snapshot as JSON to F
 //	-trace F           write a Chrome trace-event JSON span trace to F
@@ -41,8 +44,8 @@
 //	-memprofile F      write a runtime/pprof heap profile to F
 //
 // All telemetry goes to stderr or to files; stdout carries only the rendered
-// artifacts, which stay byte-identical for every -parallel value and with
-// telemetry on or off (Figure 13's wall-clock throughput numbers are the
+// artifacts, which stay byte-identical for every -parallel and
+// -parallel-solve value and with telemetry on or off (Figure 13's wall-clock throughput numbers are the
 // only run-to-run variation, and they vary at -parallel 1 too).
 package main
 
@@ -57,6 +60,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/experiments"
+	"repro/internal/pointsto"
 	"repro/internal/telemetry"
 )
 
@@ -91,6 +95,7 @@ func run() int {
 	seed := flag.Int64("seed", 0, "base RNG seed")
 	csvDir := flag.String("csv", "", "also export points-to sets and CFI policies as CSV into this directory")
 	parallel := flag.Int("parallel", 1, "worker-pool width (0 = GOMAXPROCS)")
+	parallelSolve := flag.Int("parallel-solve", 0, "parallel wave solver workers per analysis (0 = sequential)")
 	metrics := flag.Bool("metrics", false, "print a telemetry snapshot on stderr after the run")
 	metricsJSON := flag.String("metrics-json", "", "write the telemetry snapshot as JSON to this file")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the pipeline spans")
@@ -107,6 +112,13 @@ func run() int {
 	flag.Var(&exts, "ext", "extension experiment: debloat, graded (repeatable)")
 	flag.Var(&watch, "watch", "instrument name to regression-check (repeatable)")
 	flag.Parse()
+
+	// The parallel wave solver is a pure execution hint — every artifact is
+	// byte-identical to a sequential run — so it is a process-wide default
+	// rather than an Options field threaded through the pipeline.
+	if *parallelSolve > 0 {
+		pointsto.SetDefaultParallel(*parallelSolve)
+	}
 
 	opt := experiments.Options{
 		Requests:  *requests,

@@ -24,6 +24,9 @@
 //	-solve-timeout D      per-request solve wall-clock budget, 0 = unlimited
 //	-max-programs N       distinct cached programs before FIFO eviction
 //	-retry-after D        Retry-After hint on 503 responses (default 1s)
+//	-parallel-solve N     solve every analysis with the parallel wave solver
+//	                      at N workers (0 = sequential unless a request sets
+//	                      "parallel": true; results are byte-identical)
 //	-fault-seed N         arm the seeded fault-injection plan N (0 = off),
 //	                      for chaos-testing the daemon
 //
@@ -66,6 +69,7 @@ func main() {
 		solveTimeout = flag.Duration("solve-timeout", 0, "per-request solve wall clock (0 = unlimited)")
 		maxPrograms  = flag.Int("max-programs", 128, "distinct cached programs before eviction")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 503s")
+		parallel     = flag.Int("parallel-solve", 0, "parallel wave solver workers per analysis (0 = sequential)")
 		faultSeed    = flag.Int64("fault-seed", 0, "arm seeded fault injection (0 = off)")
 
 		loadgen     = flag.Bool("loadgen", false, "run the load generator instead of the daemon")
@@ -88,6 +92,7 @@ func main() {
 		SolveTimeout: *solveTimeout,
 		MaxPrograms:  *maxPrograms,
 		RetryAfter:   *retryAfter,
+		Parallel:     *parallel,
 		Metrics:      telemetry.New(),
 	}
 	if *faultSeed != 0 {

@@ -10,6 +10,16 @@
 // removals never demote a vector back to the inline form.
 //
 // The zero value of Set is an empty (inline) set ready for use.
+//
+// Concurrency: a Set carries no locks. Methods that mutate the receiver
+// (Add, Remove, UnionWith, UnionDelta, DifferenceWith, IntersectWith, Clear)
+// require exclusive access. Methods that only read the receiver and their
+// arguments (Has, Len, Empty, ForEach, Elements, Min, Max, SubsetOf, Equal,
+// Intersects, Clone, Difference, String) are safe to call from any number of
+// goroutines concurrently, provided no goroutine mutates the sets involved
+// for the duration — the read-only phases of the parallel wave solver
+// (internal/pointsto) rely on exactly this contract, with mutation confined
+// to the level barriers.
 package bitset
 
 import (
@@ -299,6 +309,45 @@ func (s *Set) DifferenceWith(t *Set) {
 			s.count -= bits.OnesCount64(old) - bits.OnesCount64(cleared)
 		}
 	}
+}
+
+// Difference returns a new set holding s \ t without mutating either
+// operand. It reads both sets only, so concurrent callers may share s and t
+// freely (see the package concurrency note); the parallel solver's gather
+// workers use it to stage propagation diffs against live points-to sets. A
+// nil t yields a clone of s.
+func (s *Set) Difference(t *Set) *Set {
+	out := &Set{}
+	if s.count == 0 {
+		return out
+	}
+	if t == nil || t.count == 0 {
+		return s.Clone()
+	}
+	if s.inline() || t.inline() {
+		s.ForEach(func(x int) bool {
+			if !t.Has(x) {
+				out.Add(x)
+			}
+			return true
+		})
+		return out
+	}
+	words := make([]uint64, len(s.words))
+	n := 0
+	for i, sw := range s.words {
+		if i < len(t.words) {
+			sw &^= t.words[i]
+		}
+		words[i] = sw
+		n += bits.OnesCount64(sw)
+	}
+	if n == 0 {
+		return out
+	}
+	out.words = words
+	out.count = n
+	return out
 }
 
 // IntersectWith keeps only elements present in both s and t.

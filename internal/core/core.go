@@ -69,10 +69,11 @@ func AnalyzeWithFallback(m *ir.Module, cfg invariant.Config, fallback *pointsto.
 // AnalyzeOpts configures AnalyzeCtx. The zero value is a plain unbounded
 // analysis.
 type AnalyzeOpts struct {
-	Fallback *pointsto.Result     // precomputed stage-① result; nil computes it
-	Metrics  *telemetry.Registry  // telemetry sink (may be nil)
-	Budget   pointsto.Budget      // per-stage solver step budget (zero = unlimited)
-	Faults   *faultinject.Plan    // fault-injection plan armed on both solver stages
+	Fallback *pointsto.Result    // precomputed stage-① result; nil computes it
+	Metrics  *telemetry.Registry // telemetry sink (may be nil)
+	Budget   pointsto.Budget     // per-stage solver step budget (zero = unlimited)
+	Faults   *faultinject.Plan   // fault-injection plan armed on both solver stages
+	Parallel int                 // >0 solves both stages with the parallel wave strategy at this many workers
 }
 
 // AnalyzeCtx is the cancellable, bounded, fault-injectable analysis entry.
@@ -93,6 +94,9 @@ func AnalyzeCtx(ctx context.Context, m *ir.Module, cfg invariant.Config, o Analy
 		a.SetMetrics(metrics)
 		a.SetSpan(sp)
 		a.SetFaults(o.Faults)
+		if o.Parallel > 0 {
+			a.SetParallel(o.Parallel)
+		}
 		r, err := a.SolveCtx(ctx, o.Budget)
 		stop()
 		fin()
@@ -109,6 +113,9 @@ func AnalyzeCtx(ctx context.Context, m *ir.Module, cfg invariant.Config, o Analy
 		a.SetMetrics(metrics)
 		a.SetSpan(sp)
 		a.SetFaults(o.Faults)
+		if o.Parallel > 0 {
+			a.SetParallel(o.Parallel)
+		}
 		r, err := a.SolveCtx(ctx, o.Budget)
 		stop()
 		fin()

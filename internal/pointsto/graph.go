@@ -165,6 +165,7 @@ type Analysis struct {
 	wave       bool            // use wave propagation instead of the plain worklist
 	noDelta    bool            // disable difference propagation (differential-oracle ablation)
 	deltaMode  uint8           // deltaAuto (resolved at first solve) / deltaOn / deltaOff
+	parallel   int             // >1: parallel wave strategy with this many gather workers
 
 	// Offline preprocessing (prep.go / hcd.go): HVN variable substitution and
 	// hybrid cycle detection run once, lazily, at the first resolve — after
@@ -194,6 +195,8 @@ type Analysis struct {
 	hDeltaSize   *telemetry.Histogram // pointsto/delta/size
 	hWLDepth     *telemetry.Histogram // pointsto/worklist/depth
 	hPtsSize     *telemetry.Histogram // pointsto/pts/size
+	hLevelWidth  *telemetry.Histogram // pointsto/parallel/level-width
+	hOccupancy   *telemetry.Histogram // pointsto/parallel/worker-occupancy
 	cLivePops    *telemetry.Counter   // pointsto/progress/pops (live, for the watchdog)
 	gLiveDepth   *telemetry.Gauge     // pointsto/progress/worklist-depth (live)
 
@@ -266,6 +269,30 @@ func init() { defaultPrep.Store(true) }
 // callers can restore it.
 func SetDefaultPrep(on bool) bool { return defaultPrep.Swap(on) }
 
+// SetParallel selects the parallel wave strategy for this analysis: each
+// wave's topological order is split into independent levels and the nodes of
+// a level are gathered across n worker goroutines, with all graph mutation
+// applied deterministically at the level barrier (see parallel.go). n == 1
+// runs the same phase-separated strategy inline on the solver goroutine;
+// n <= 0 restores the sequential strategy selected by SetWave. The final fixpoint is
+// byte-identical to the sequential solvers (asserted by the differential
+// oracle and golden tests). An installed Tracer forces the sequential wave —
+// tracer callbacks are synchronous and order-sensitive. Must be called before
+// Solve.
+func (a *Analysis) SetParallel(n int) { a.parallel = n }
+
+// defaultParallel is the package-wide parallel-solve default, read by New:
+// 0 (the default) solves sequentially, n >= 1 makes every new analysis use
+// the parallel wave strategy with n gather workers. It exists for the same
+// reason as defaultPrep: pipeline entry points construct analyses without
+// exposing solver knobs, so CLI flags (kscope-bench -parallel-solve) and
+// byte-identity tests flip the default around a region.
+var defaultParallel atomic.Int64
+
+// SetDefaultParallel sets the package-wide parallel-solve default and
+// returns the previous value, so callers can restore it.
+func SetDefaultParallel(n int) int { return int(defaultParallel.Swap(int64(n))) }
+
 // New builds the constraint graph for m under cfg. Call Solve to run the
 // analysis.
 func New(m *ir.Module, cfg invariant.Config) *Analysis {
@@ -287,6 +314,7 @@ func New(m *ir.Module, cfg invariant.Config) *Analysis {
 		addrFacts:   map[int32][]int32{},
 	}
 	a.prep = defaultPrep.Load()
+	a.parallel = int(defaultParallel.Load())
 	a.buildStart = time.Now()
 	a.build()
 	a.buildDur = time.Since(a.buildStart)
@@ -305,6 +333,8 @@ func (a *Analysis) SetMetrics(r *telemetry.Registry) {
 	a.hDeltaSize = r.Histogram("pointsto/delta/size")
 	a.hWLDepth = r.Histogram("pointsto/worklist/depth")
 	a.hPtsSize = r.Histogram("pointsto/pts/size")
+	a.hLevelWidth = r.Histogram("pointsto/parallel/level-width")
+	a.hOccupancy = r.Histogram("pointsto/parallel/worker-occupancy")
 	a.cLivePops = r.Counter("pointsto/progress/pops")
 	a.gLiveDepth = r.Gauge("pointsto/progress/worklist-depth")
 }

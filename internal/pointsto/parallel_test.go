@@ -1,0 +1,229 @@
+package pointsto
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/invariant"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// TestTopoOrderLevels pins the level contract topoOrder guarantees to the
+// parallel solver: order is a permutation of the representative nodes, starts
+// brackets it into contiguous levels, and every forward copy/gep edge whose
+// endpoints both appear in the order crosses from its level into a strictly
+// later one — so the nodes of one level share no forward edges among
+// themselves.
+func TestTopoOrderLevels(t *testing.T) {
+	for _, app := range workload.Apps()[:6] {
+		t.Run(app.Name, func(t *testing.T) {
+			a := New(app.MustModule(), invariant.All())
+			a.sccPass()
+			order, starts := a.topoOrder()
+
+			reps := 0
+			for n := range a.nodes {
+				if a.find(n) == n {
+					reps++
+				}
+			}
+			if len(order) != reps {
+				t.Fatalf("order has %d nodes, want %d representatives", len(order), reps)
+			}
+			if len(starts) < 2 || starts[0] != 0 || starts[len(starts)-1] != len(order) {
+				t.Fatalf("starts = %v does not bracket order of %d nodes", starts, len(order))
+			}
+			levelOf := map[int]int{}
+			pos := map[int]int{}
+			for li := 0; li+1 < len(starts); li++ {
+				if starts[li] >= starts[li+1] {
+					t.Fatalf("level %d is empty (starts %v)", li, starts)
+				}
+				for _, n := range order[starts[li]:starts[li+1]] {
+					if _, dup := levelOf[n]; dup {
+						t.Fatalf("node %d appears twice in order", n)
+					}
+					levelOf[n] = li
+				}
+			}
+			for i, n := range order {
+				pos[n] = i
+			}
+			for _, v := range order {
+				check := func(raw int) {
+					w := a.find(raw)
+					// Back edges (residual cycles broken by the DFS) are
+					// exempt: levels only order the forward subgraph.
+					if w == v || pos[w] <= pos[v] {
+						return
+					}
+					if levelOf[w] <= levelOf[v] {
+						t.Fatalf("forward edge %d(level %d) -> %d(level %d) does not cross levels",
+							v, levelOf[v], w, levelOf[w])
+					}
+				}
+				for _, to := range a.copyTo[v] {
+					check(int(to))
+				}
+				for _, e := range a.gepTo[v] {
+					check(int(e.to))
+				}
+			}
+		})
+	}
+}
+
+// TestParallelDeterminism asserts run-to-run determinism of the parallel
+// strategy: gather is pure and apply is ordered, so worker scheduling must
+// not leak into the result.
+func TestParallelDeterminism(t *testing.T) {
+	for _, app := range workload.Apps()[:4] {
+		t.Run(app.Name, func(t *testing.T) {
+			m := app.MustModule()
+			ref := fingerprint(solveStrategy(m, invariant.All(), false, 8, true, true))
+			for run := 1; run < 5; run++ {
+				if got := fingerprint(solveStrategy(m, invariant.All(), false, 8, true, true)); got != ref {
+					t.Fatalf("run %d differs from run 0:\n%s", run, diffLines(ref, got))
+				}
+			}
+		})
+	}
+}
+
+// The parallel strategy obeys the same budget contract as the sequential
+// solvers: a typed abort at a level barrier, never a partial result, and a
+// resumed solve converging to the byte-identical fixpoint.
+func TestParallelSolveBudget(t *testing.T) {
+	m := workload.MbedTLS().MustModule()
+	clean := New(m, invariant.All())
+	clean.SetParallel(4)
+	want := fingerprint(clean.Solve())
+	a := New(m, invariant.All())
+	a.SetParallel(4)
+	if r, err := a.SolveCtx(context.Background(), Budget{MaxSteps: 5}); r != nil || !errors.Is(err, ErrSolveAborted) {
+		t.Fatalf("parallel budget abort: r=%v err=%v", r, err)
+	}
+	r, err := a.SolveCtx(context.Background(), Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(r) != want {
+		t.Fatal("resumed parallel fixpoint differs from uninterrupted parallel solve")
+	}
+}
+
+// TestParallelBudgetedResumes drives the parallel strategy through many
+// abort/resume cycles, as TestBudgetedSolveResumes does for the worklist, and
+// additionally requires the converged fixpoint to match the sequential one.
+func TestParallelBudgetedResumes(t *testing.T) {
+	for _, app := range workload.Apps()[:4] {
+		t.Run(app.Name, func(t *testing.T) {
+			m := app.MustModule()
+			want := fingerprint(New(m, invariant.All()).Solve())
+			a := New(m, invariant.All())
+			a.SetParallel(8)
+			aborts := 0
+			for {
+				r, err := a.SolveCtx(context.Background(), Budget{MaxSteps: 40})
+				if err == nil {
+					if got := fingerprint(r); got != want {
+						t.Fatalf("fixpoint after %d aborted resumes differs from sequential solve:\n%s",
+							aborts, diffLines(want, got))
+					}
+					break
+				}
+				if !errors.Is(err, ErrSolveAborted) {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				aborts++
+				if aborts > 10000 {
+					t.Fatal("solve never converges under repeated 40-step budgets")
+				}
+			}
+			if aborts == 0 {
+				t.Error("solve finished inside the first 40-step budget; test exercised nothing")
+			}
+		})
+	}
+}
+
+// TestParallelTelemetry asserts the fan-out instrumentation: level-width
+// samples are recorded for every level of every wave, the round spans use the
+// parallel name, and — on a module wide enough to spawn workers — worker
+// occupancy is observed. Concurrent snapshot reads while the solve runs lock
+// down the registry's race-safety from solver goroutines (run under -race by
+// the race-parallel make target).
+func TestParallelTelemetry(t *testing.T) {
+	m := workload.ScaledApps()[0].MustModule() // randprog-1k: wide levels
+	reg := telemetry.New()
+	a := New(m, invariant.All())
+	a.SetParallel(8)
+	a.SetMetrics(reg)
+
+	done := make(chan struct{})
+	go func() {
+		// Poll snapshots concurrently with the solve: every counter,
+		// histogram, and gauge the solver workers touch must be safe to read
+		// mid-flight.
+		for {
+			select {
+			case <-done:
+				close(done)
+				return
+			default:
+				reg.Snapshot()
+			}
+		}
+	}()
+	a.Solve()
+	done <- struct{}{}
+	<-done
+
+	if got := reg.Histogram("pointsto/parallel/level-width").Count(); got == 0 {
+		t.Error("no level-width samples recorded")
+	}
+	if got := reg.Histogram("pointsto/parallel/worker-occupancy").Count(); got == 0 {
+		t.Error("no worker-occupancy samples recorded; levels never spawned workers")
+	}
+	snap := reg.Snapshot()
+	foundRound := false
+	for _, s := range snap.Spans {
+		if s.Name == "pointsto/round/parallel" {
+			foundRound = true
+			break
+		}
+	}
+	if !foundRound {
+		t.Error("no pointsto/round/parallel spans recorded")
+	}
+}
+
+// TestParallelTracerFallsBack pins the tracer contract: an installed tracer
+// forces the sequential wave (tracer callbacks are synchronous and
+// order-sensitive), and the traced events still arrive.
+func TestParallelTracerFallsBack(t *testing.T) {
+	m := workload.MbedTLS().MustModule()
+	want := fingerprint(solveStrategy(m, invariant.All(), false, 4, true, true))
+	a := New(m, invariant.All())
+	a.SetParallel(4)
+	a.SetDelta(true)
+	a.SetPrep(true)
+	tr := &countingTracer{}
+	a.SetTracer(tr)
+	if got := fingerprint(a.Solve()); got != want {
+		t.Fatalf("traced parallel-configured solve diverges:\n%s", diffLines(want, got))
+	}
+	if tr.growth == 0 {
+		t.Error("tracer received no growth events from the fallback solve")
+	}
+}
+
+type countingTracer struct {
+	growth int
+	cycles int
+}
+
+func (c *countingTracer) Growth(GrowthEvent) { c.growth++ }
+func (c *countingTracer) Cycle(int, bool)    { c.cycles++ }

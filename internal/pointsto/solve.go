@@ -49,7 +49,16 @@ func (a *Analysis) resolve() error {
 	}
 	solveSpan, finishSolve := a.metrics.StartSpan("pointsto/solve", a.parentSpan)
 	stop := a.metrics.Timer("pointsto/phase/solve").Start()
-	if a.wave {
+	if a.parallel > 0 {
+		if a.tracer != nil {
+			// Tracer callbacks are synchronous and order-sensitive, which the
+			// parallel gather phase cannot honor: fall back to the sequential
+			// wave (results are identical either way).
+			a.solveWave(solveSpan)
+		} else {
+			a.solveParallel(solveSpan)
+		}
+	} else if a.wave {
 		a.solveWave(solveSpan)
 	} else {
 		a.ensureWL()

@@ -10,6 +10,8 @@ package runner
 import (
 	"context"
 	"errors"
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -202,5 +204,89 @@ func TestCacheBudgetAbort(t *testing.T) {
 	c.SetBudget(pointsto.Budget{})
 	if _, err := c.SystemCtx(context.Background(), app, invariant.Config{}); err != nil {
 		t.Fatalf("unbudgeted recompute failed: %v", err)
+	}
+}
+
+// TestCacheParallelBudgetAbort is the parallel-solver leg of the budget
+// contract: an abort raised at a level barrier of the parallel wave strategy
+// must invalidate the entry exactly like a worklist-pop abort — typed error
+// to the flight's waiters, nothing cached — and compose with Forget without
+// leaving a resumable half-solve behind. Lifting the budget must then produce
+// a System whose results are byte-identical to a sequential compute.
+func TestCacheParallelBudgetAbort(t *testing.T) {
+	metrics := telemetry.New()
+	c := NewCache(metrics)
+	c.SetParallel(8)
+	c.SetBudget(pointsto.Budget{MaxSteps: 1})
+	app := testApp(t)
+	ctx := context.Background()
+	_, err := c.SystemCtx(ctx, app, invariant.Config{})
+	if !errors.Is(err, pointsto.ErrSolveAborted) {
+		t.Fatalf("budgeted parallel solve returned %v, want ErrSolveAborted", err)
+	}
+	if got := metrics.Snapshot().Counters["runner/cache/invalidations"]; got != 1 {
+		t.Fatalf("invalidations = %d, want 1", got)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("aborted parallel entry stayed cached (%d entries)", c.Len())
+	}
+	// Forget on the already-invalidated app must be a no-op — the abort may
+	// not leave a ghost entry for eviction accounting to find.
+	if n := c.Forget(app.Name); n != 0 {
+		t.Fatalf("Forget after abort removed %d entries, want 0", n)
+	}
+	c.SetBudget(pointsto.Budget{})
+	par, err := c.SystemCtx(ctx, app, invariant.All())
+	if err != nil {
+		t.Fatalf("unbudgeted parallel recompute failed: %v", err)
+	}
+	seq, err := NewCache(nil).SystemCtx(ctx, app, invariant.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultDump(par.Optimistic) != resultDump(seq.Optimistic) ||
+		resultDump(par.Fallback) != resultDump(seq.Fallback) {
+		t.Fatal("parallel-computed System differs from sequential compute")
+	}
+}
+
+// resultDump canonically renders the externally observable facts of a Result
+// for byte comparison across solver strategies.
+func resultDump(r *pointsto.Result) string {
+	var b strings.Builder
+	for _, p := range r.TopLevelPointers() {
+		fmt.Fprintf(&b, "%s:%s ->", p.Fn, p.Reg)
+		for _, ref := range r.PointsTo(p.Fn, p.Reg) {
+			fmt.Fprintf(&b, " %s+%d", ref.Obj.Label(), ref.Slot)
+		}
+		b.WriteByte('\n')
+	}
+	for _, site := range r.ICallSites() {
+		fmt.Fprintf(&b, "icall %d -> %v\n", site, r.CallTargets(site))
+	}
+	return b.String()
+}
+
+// TestCacheComputeOptsParallel covers the per-request opt-in: a request
+// carrying ComputeOpts.Parallel solves parallel without flipping the
+// cache-wide default, and its entry answers later sequential requests.
+func TestCacheComputeOptsParallel(t *testing.T) {
+	metrics := telemetry.New()
+	c := NewCache(metrics)
+	app := testApp(t)
+	ctx := context.Background()
+	sys, err := c.SystemCtxOpts(ctx, app, invariant.All(), ComputeOpts{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := c.SystemCtx(ctx, app, invariant.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != sys {
+		t.Fatal("sequential request did not share the parallel-computed entry")
+	}
+	if got := metrics.Snapshot().Counters["runner/cache/misses"]; got != 2 { // Baseline + All
+		t.Fatalf("misses = %d, want 2", got)
 	}
 }

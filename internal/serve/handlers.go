@@ -19,6 +19,11 @@ type submission struct {
 	// Config selects the invariant configuration: baseline, ctx, pa, pwc,
 	// ctx-pa, ctx-pwc, pa-pwc, all. Empty means all (full Kaleidoscope).
 	Config string `json:"config,omitempty"`
+	// Parallel opts this request's solve into the parallel wave strategy
+	// (GOMAXPROCS workers unless the server sets its own count). A pure
+	// execution hint: the result is byte-identical to a sequential solve,
+	// so it shares the analysis cache either way.
+	Parallel bool `json:"parallel,omitempty"`
 }
 
 // analyzeResponse summarizes one analysis.
@@ -40,7 +45,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) *apiError
 	if apiErr := s.decode(w, r, &req); apiErr != nil {
 		return apiErr
 	}
-	a, apiErr := s.system(r.Context(), req.Name, req.Source, req.Config)
+	a, apiErr := s.system(r.Context(), req)
 	if apiErr != nil {
 		return apiErr
 	}
@@ -86,7 +91,7 @@ func (s *Server) handlePointsTo(w http.ResponseWriter, r *http.Request) *apiErro
 		return &apiError{Status: http.StatusBadRequest, Kind: "validation",
 			Msg: "missing required field: fn"}
 	}
-	a, apiErr := s.system(r.Context(), req.Name, req.Source, req.Config)
+	a, apiErr := s.system(r.Context(), req.submission)
 	if apiErr != nil {
 		return apiErr
 	}
@@ -138,7 +143,7 @@ func (s *Server) handleCFITargets(w http.ResponseWriter, r *http.Request) *apiEr
 	if apiErr := s.decode(w, r, &req); apiErr != nil {
 		return apiErr
 	}
-	a, apiErr := s.system(r.Context(), req.Name, req.Source, req.Config)
+	a, apiErr := s.system(r.Context(), req.submission)
 	if apiErr != nil {
 		return apiErr
 	}
@@ -189,7 +194,7 @@ func (s *Server) handleInvariants(w http.ResponseWriter, r *http.Request) *apiEr
 	if apiErr := s.decode(w, r, &req); apiErr != nil {
 		return apiErr
 	}
-	a, apiErr := s.system(r.Context(), req.Name, req.Source, req.Config)
+	a, apiErr := s.system(r.Context(), req)
 	if apiErr != nil {
 		return apiErr
 	}

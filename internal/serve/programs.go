@@ -7,10 +7,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/invariant"
 	"repro/internal/pointsto"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -83,12 +85,13 @@ type analysis struct {
 // 400 for programs that do not compile or configs that do not parse,
 // 503 kind "overloaded" for shed requests, 503 kind "budget" for solver
 // budget/timeout exhaustion, 500 for anything else (e.g. injected faults).
-func (s *Server) system(ctx context.Context, name, src, cfgName string) (*analysis, *apiError) {
+func (s *Server) system(ctx context.Context, req submission) (*analysis, *apiError) {
+	name, src := req.Name, req.Source
 	if src == "" {
 		return nil, &apiError{Status: http.StatusBadRequest, Kind: "validation",
 			Msg: "missing required field: source"}
 	}
-	cfg, err := parseConfig(cfgName)
+	cfg, err := parseConfig(req.Config)
 	if err != nil {
 		return nil, &apiError{Status: http.StatusBadRequest, Kind: "validation", Msg: err.Error()}
 	}
@@ -125,11 +128,22 @@ func (s *Server) system(ctx context.Context, name, src, cfgName string) (*analys
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
 		defer cancel()
 	}
-	sys, err := s.cache.SystemCtx(ctx, app, cfg)
+	// Parallel solving is a pure execution hint — the fixpoint is
+	// byte-identical to a sequential solve — so it rides alongside the cache
+	// key rather than inside it: a parallel-computed analysis answers
+	// sequential requests and vice versa.
+	workers := s.cfg.Parallel
+	if req.Parallel && workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 0 && !cached {
+		s.metrics.Counter("serve/solve/parallel").Inc()
+	}
+	sys, err := s.cache.SystemCtxOpts(ctx, app, cfg, runner.ComputeOpts{Parallel: workers})
 	if err != nil {
 		if errors.Is(err, pointsto.ErrSolveAborted) {
 			return nil, &apiError{Status: http.StatusServiceUnavailable, Kind: "budget",
-				Msg: fmt.Sprintf("analysis exceeded its solve budget and was aborted (no partial result): %v", err),
+				Msg:        fmt.Sprintf("analysis exceeded its solve budget and was aborted (no partial result): %v", err),
 				RetryAfter: s.cfg.RetryAfter}
 		}
 		return nil, &apiError{Status: http.StatusInternalServerError, Kind: "internal",
