@@ -23,11 +23,13 @@ race:
 ## race-parallel: the parallel wave solver's byte-identity harness under the
 ## race detector — the full differential strategy cube (worklist / wave /
 ## parallel x 1,2,8 workers x delta x prep), the parallel budget/resume,
-## determinism, telemetry, and tracer-fallback tests, and the seeded corpus
-## of the parallel-equivalence fuzzer
+## determinism, telemetry, and tracer-fallback tests, the seeded corpus
+## of the parallel-equivalence fuzzer, the request-trace attachment test
+## (parallel wave spans land in traces without a sequential fallback), and
+## the concurrent trace/flight-recorder hammer
 race-parallel:
 	$(GO) test -race -run '^(TestDifferential|TestParallel|TestTopoOrderLevels|FuzzParallelEquivalence)' -v ./internal/pointsto
-	$(GO) test -race -run '^(TestCacheParallel|TestCacheComputeOptsParallel|TestParallel)' ./internal/runner ./internal/serve
+	$(GO) test -race -run '^(TestCacheParallel|TestCacheComputeOptsParallel|TestParallel)' ./internal/runner ./internal/serve ./internal/telemetry
 
 ## vet: static checks
 vet:
@@ -62,8 +64,10 @@ chaos-smoke:
 
 ## serve-smoke: the daemon gate — start kscope-serve in-process on an
 ## ephemeral port, health-check it, drive ~2s of generated load under an
-## SLO, verify one query round-trip, and shut down cleanly (exit 1 on any
-## step failing); see docs/RUNBOOK.md
+## SLO, verify one query round-trip, scrape /metricsz?format=prom, export a
+## retained slow-request trace from /tracez, gate a live metrics comparison
+## (steady state clean + injected regression flagged), and shut down
+## cleanly (exit 1 on any step failing); see docs/RUNBOOK.md
 serve-smoke:
 	$(GO) run ./cmd/kscope-serve -smoke
 

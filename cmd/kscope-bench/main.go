@@ -26,9 +26,11 @@
 //	-metrics-json F    write the telemetry snapshot as JSON to F
 //	-trace F           write a Chrome trace-event JSON span trace to F
 //	                   (open in Perfetto or chrome://tracing)
-//	-compare-metrics F load a prior -metrics-json export and print per-
-//	                   instrument deltas; exit 1 if a watched instrument
-//	                   regresses past -regress-threshold
+//	-compare-metrics B load a baseline — a prior -metrics-json export, or a
+//	                   live kscope-serve /metricsz endpoint when B is an
+//	                   http(s) URL — and print per-instrument deltas; exit 1
+//	                   if a watched instrument regresses past
+//	                   -regress-threshold
 //	-watch NAME        instrument to regression-check (repeatable; default
 //	                   pointsto/worklist/pops, pointsto/delta/bits-propagated)
 //	-regress-threshold fraction of allowed growth for watched instruments
@@ -99,7 +101,7 @@ func run() int {
 	metrics := flag.Bool("metrics", false, "print a telemetry snapshot on stderr after the run")
 	metricsJSON := flag.String("metrics-json", "", "write the telemetry snapshot as JSON to this file")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the pipeline spans")
-	comparePath := flag.String("compare-metrics", "", "compare this run against a prior -metrics-json export")
+	comparePath := flag.String("compare-metrics", "", "compare this run against a baseline: a -metrics-json file or a live /metricsz URL")
 	threshold := flag.Float64("regress-threshold", 0.10, "allowed fractional growth of watched instruments")
 	watchdog := flag.Duration("watchdog", 0, "stall-report window for the solver progress watchdog (0 = off)")
 	chaosSeed := flag.Int64("chaos", 0, "run the chaos differential harness with this base seed (0 = off)")

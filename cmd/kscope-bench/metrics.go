@@ -36,19 +36,16 @@ func exportSnapshot(snap telemetry.Snapshot, jsonPath, tracePath string) error {
 	return nil
 }
 
-// compareAgainst loads a baseline snapshot previously written by
-// -metrics-json, diffs the current snapshot against it, and prints the
+// compareAgainst loads a baseline snapshot — a file previously written by
+// -metrics-json, or a live /metricsz endpoint when the argument is an
+// http(s) URL — diffs the current snapshot against it, and prints the
 // per-instrument report to w. It reports whether any watched instrument
 // regressed past the threshold (the caller turns that into a non-zero
 // exit).
-func compareAgainst(cur telemetry.Snapshot, baselinePath string, watch []string, threshold float64, w io.Writer) (regressed bool, err error) {
-	data, err := os.ReadFile(baselinePath)
+func compareAgainst(cur telemetry.Snapshot, baseline string, watch []string, threshold float64, w io.Writer) (regressed bool, err error) {
+	old, err := telemetry.LoadSnapshot(baseline)
 	if err != nil {
 		return false, err
-	}
-	var old telemetry.Snapshot
-	if err := json.Unmarshal(data, &old); err != nil {
-		return false, fmt.Errorf("%s: %w", baselinePath, err)
 	}
 	cmp := telemetry.CompareSnapshots(old, cur, watch, threshold)
 	fmt.Fprint(w, cmp.Text())

@@ -3,6 +3,8 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -208,5 +210,49 @@ func TestCompareRegressionExit(t *testing.T) {
 
 	if _, err := compareAgainst(curReg.Snapshot(), filepath.Join(t.TempDir(), "missing.json"), nil, 0.10, io.Discard); err == nil {
 		t.Error("missing baseline file did not error")
+	}
+}
+
+// TestCompareAgainstURL gates against a *live* baseline: -compare-metrics
+// pointed at a /metricsz-shaped URL must flag an injected regression on a
+// watched counter and stay quiet when growth is under threshold.
+func TestCompareAgainstURL(t *testing.T) {
+	oldReg := telemetry.New()
+	oldReg.Counter("serve/cache/misses").Add(100)
+	payload, err := json.Marshal(oldReg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer ts.Close()
+
+	regressedReg := telemetry.New()
+	regressedReg.Counter("serve/cache/misses").Add(200) // injected +100%
+
+	var report strings.Builder
+	regressed, err := compareAgainst(regressedReg.Snapshot(), ts.URL+"/metricsz",
+		[]string{"serve/cache/misses"}, 0.10, &report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Error("injected +100% on a watched counter did not regress against the URL baseline")
+	}
+	if !strings.Contains(report.String(), "REGRESSION") {
+		t.Errorf("report does not flag the regression:\n%s", report.String())
+	}
+
+	steadyReg := telemetry.New()
+	steadyReg.Counter("serve/cache/misses").Add(105)
+	if regressed, err = compareAgainst(steadyReg.Snapshot(), ts.URL+"/metricsz",
+		[]string{"serve/cache/misses"}, 0.10, io.Discard); err != nil || regressed {
+		t.Errorf("under-threshold growth regressed against the URL baseline (err=%v)", err)
+	}
+
+	ts.Close()
+	if _, err := compareAgainst(steadyReg.Snapshot(), ts.URL, nil, 0.10, io.Discard); err == nil {
+		t.Error("unreachable baseline URL did not error")
 	}
 }

@@ -12,7 +12,10 @@
 //	kscope-serve -smoke                          self-contained CI smoke: start an
 //	                                             in-process daemon, health-check it,
 //	                                             run ~2s of load, one query
-//	                                             round-trip, clean shutdown
+//	                                             round-trip, scrape /metricsz
+//	                                             (Prometheus) and /tracez, gate a
+//	                                             live metrics comparison, clean
+//	                                             shutdown
 //
 // Daemon flags:
 //
@@ -29,6 +32,13 @@
 //	                      "parallel": true; results are byte-identical)
 //	-fault-seed N         arm the seeded fault-injection plan N (0 = off),
 //	                      for chaos-testing the daemon
+//	-access-log DEST      JSON-lines access log: "off" (default), "stderr",
+//	                      "stdout", or a file path (appended)
+//	-trace-recent N       request traces kept in the /tracez recent ring
+//	                      (default 64)
+//	-trace-slowest N      slowest ring-evicted traces kept anyway (default 8)
+//	-no-trace             disable request tracing entirely (spans fall back
+//	                      to the process-global registry)
 //
 // Loadgen flags:
 //
@@ -46,6 +56,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -71,6 +82,10 @@ func main() {
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 503s")
 		parallel     = flag.Int("parallel-solve", 0, "parallel wave solver workers per analysis (0 = sequential)")
 		faultSeed    = flag.Int64("fault-seed", 0, "arm seeded fault injection (0 = off)")
+		accessLog    = flag.String("access-log", "off", "JSON-lines access log: off, stderr, stdout, or a file path")
+		traceRecent  = flag.Int("trace-recent", 0, "request traces kept in the /tracez recent ring (0 = default 64)")
+		traceSlowest = flag.Int("trace-slowest", 0, "slowest evicted traces kept anyway (0 = default 8)")
+		noTrace      = flag.Bool("no-trace", false, "disable request tracing and /tracez retention")
 
 		loadgen     = flag.Bool("loadgen", false, "run the load generator instead of the daemon")
 		target      = flag.String("target", "http://127.0.0.1:8350", "loadgen: daemon base URL")
@@ -85,15 +100,33 @@ func main() {
 	flag.Parse()
 
 	cfg := serve.Config{
-		MaxBodyBytes: *maxBody,
-		MaxInflight:  *maxInflight,
-		QueueTimeout: *queueTimeout,
-		SolveSteps:   *solveSteps,
-		SolveTimeout: *solveTimeout,
-		MaxPrograms:  *maxPrograms,
-		RetryAfter:   *retryAfter,
-		Parallel:     *parallel,
-		Metrics:      telemetry.New(),
+		MaxBodyBytes:   *maxBody,
+		MaxInflight:    *maxInflight,
+		QueueTimeout:   *queueTimeout,
+		SolveSteps:     *solveSteps,
+		SolveTimeout:   *solveTimeout,
+		MaxPrograms:    *maxPrograms,
+		RetryAfter:     *retryAfter,
+		Parallel:       *parallel,
+		Metrics:        telemetry.New(),
+		TraceRecent:    *traceRecent,
+		TraceSlowest:   *traceSlowest,
+		DisableTracing: *noTrace,
+	}
+	switch *accessLog {
+	case "", "off":
+	case "stderr":
+		cfg.AccessLog = os.Stderr
+	case "stdout":
+		cfg.AccessLog = os.Stdout
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kscope-serve: -access-log:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		cfg.AccessLog = f
 	}
 	if *faultSeed != 0 {
 		plan := faultinject.NewPlan(*faultSeed)
@@ -227,7 +260,93 @@ func runSmoke(cfg serve.Config) int {
 	}
 	fmt.Fprintf(os.Stderr, "serve-smoke: query round-trip ok (pick() -> %v)\n", pts.Fallback)
 
-	// 4. Clean shutdown.
+	// 4. The Prometheus exposition is scrapeable and carries the daemon's
+	// request counters.
+	prom, err := getBody(base + "/metricsz?format=prom")
+	if err != nil {
+		return fail("/metricsz?format=prom", err)
+	}
+	if !strings.Contains(string(prom), "kscope_serve_requests") {
+		return fail("/metricsz?format=prom", fmt.Errorf("exposition missing kscope_serve_requests:\n%.400s", prom))
+	}
+	fmt.Fprintf(os.Stderr, "serve-smoke: prometheus scrape ok (%d bytes)\n", len(prom))
+
+	// 5. The flight recorder retained the load's traces, and a retained slow
+	// request resolves to a Perfetto-loadable trace. The loadgen's slowest
+	// ids are tried first; under tens of thousands of smoke requests they may
+	// have aged out of the ring (client-observed latency and the server-side
+	// durations the slowest shortlist ranks by need not agree), so the
+	// index's own retained ids are the fallback.
+	var idx struct {
+		Recent  []struct{ ID string }
+		Slowest []struct{ ID string }
+	}
+	if err := getJSON(base+"/tracez", &idx); err != nil {
+		return fail("/tracez", err)
+	}
+	if len(idx.Recent) == 0 || len(idx.Slowest) == 0 {
+		return fail("/tracez", fmt.Errorf("flight recorder retained no traces after load (%d recent, %d slowest)",
+			len(idx.Recent), len(idx.Slowest)))
+	}
+	var candidates []string
+	for _, sr := range rep.Slowest {
+		candidates = append(candidates, sr.TraceID)
+	}
+	candidates = append(candidates, idx.Slowest[0].ID, idx.Recent[0].ID)
+	traceID, chrome := "", []byte(nil)
+	for _, id := range candidates {
+		if id == "" {
+			continue
+		}
+		if data, err := getBody(base + "/tracez?id=" + id); err == nil {
+			traceID, chrome = id, data
+			break
+		}
+	}
+	if traceID == "" {
+		return fail("/tracez?id=", fmt.Errorf("none of %d candidate trace ids resolved", len(candidates)))
+	}
+	if !strings.Contains(string(chrome), "traceEvents") {
+		return fail("/tracez?id="+traceID, fmt.Errorf("export is not Chrome trace JSON:\n%.200s", chrome))
+	}
+	fmt.Fprintf(os.Stderr, "serve-smoke: slow request trace %s exported (%d bytes)\n", traceID, len(chrome))
+
+	// 6. The live metrics gate: snapshot /metricsz as a baseline, replay the
+	// (now cached) query — serve/cache/misses must not move — then inject a
+	// synthetic regression into a copy and require the comparison to trip,
+	// proving the non-zero-exit path of -compare-metrics against a URL.
+	baseline, err := telemetry.LoadSnapshot(base + "/metricsz")
+	if err != nil {
+		return fail("compare-metrics baseline", err)
+	}
+	watch := []string{"serve/cache/misses"}
+	for i := 0; i < 5; i++ {
+		body := strings.NewReader(`{"name":"smoke","source":"int g;\nint* pick() { return &g; }\nint main() { int* p; p = pick(); return *p; }","fn":"pick"}`)
+		resp, err := http.Post(base+"/pointsto", "application/json", body)
+		if err != nil {
+			return fail("cached replay", err)
+		}
+		resp.Body.Close()
+	}
+	cur, err := telemetry.LoadSnapshot(base + "/metricsz")
+	if err != nil {
+		return fail("compare-metrics current", err)
+	}
+	if regs := telemetry.CompareSnapshots(baseline, cur, watch, 0).Regressions(); len(regs) > 0 {
+		return fail("live metrics gate", fmt.Errorf("cached replays regressed %v", regs))
+	}
+	injected := cur
+	injected.Counters = map[string]int64{}
+	for k, v := range cur.Counters {
+		injected.Counters[k] = v
+	}
+	injected.Counters["serve/cache/misses"] = 2*cur.Counters["serve/cache/misses"] + 10
+	if regs := telemetry.CompareSnapshots(baseline, injected, watch, 0.10).Regressions(); len(regs) == 0 {
+		return fail("live metrics gate", fmt.Errorf("injected cache-miss regression not flagged"))
+	}
+	fmt.Fprintln(os.Stderr, "serve-smoke: live metrics gate ok (steady state clean, injected regression flagged)")
+
+	// 7. Clean shutdown.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
@@ -247,4 +366,20 @@ func getJSON(url string, into any) error {
 		return fmt.Errorf("status %d", resp.StatusCode)
 	}
 	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+func getBody(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %.200s", resp.StatusCode, data)
+	}
+	return data, nil
 }

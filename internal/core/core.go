@@ -84,7 +84,11 @@ type AnalyzeOpts struct {
 func AnalyzeCtx(ctx context.Context, m *ir.Module, cfg invariant.Config, o AnalyzeOpts) (*System, error) {
 	metrics := o.Metrics
 	s := &System{Module: m, Config: cfg, Metrics: metrics}
-	span, finish := metrics.StartSpan("core/analyze", nil)
+	// The root span follows the context: inside a traced request (a serve
+	// submission carrying a telemetry.Trace) it attaches there, and every
+	// stage/solver span below inherits that destination through its parent
+	// handle; otherwise it lands in the registry as before.
+	ctx, span, finish := telemetry.StartSpanCtx(ctx, metrics, "core/analyze")
 	defer finish()
 	fallback := o.Fallback
 	if fallback == nil {

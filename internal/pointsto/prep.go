@@ -43,7 +43,7 @@ func (a *Analysis) runPrep() {
 	a.offlineSubstitute()
 	a.offlineHCD()
 	a.lcdSeen = map[edgeKey]bool{}
-	if a.metrics != nil {
+	if a.metrics != nil || a.parentSpan != nil {
 		a.metrics.RecordSpan("pointsto/prep", a.parentSpan, start, time.Since(start))
 	}
 }

@@ -28,9 +28,10 @@ func (a *Analysis) Solve() *Result {
 // the incremental re-solve entry used by Restore. A non-nil error is always
 // an *AbortError from the active budget, and leaves the analysis resumable.
 func (a *Analysis) resolve() error {
-	if a.metrics != nil && !a.buildEmitted {
+	if (a.metrics != nil || a.parentSpan != nil) && !a.buildEmitted {
 		// Constraint-graph construction ran inside New, before a registry
-		// could be attached; export its interval retroactively, once.
+		// could be attached; export its interval retroactively, once. A
+		// trace-attached parent span is a destination too, registry or not.
 		a.buildEmitted = true
 		a.metrics.RecordSpan("pointsto/build", a.parentSpan, a.buildStart, a.buildDur)
 	}

@@ -173,10 +173,17 @@ func (c *Cache) SystemCtxOpts(ctx context.Context, app *workload.App, cfg invari
 		return e.sys, e.err
 	}
 	c.mu.Unlock()
+	// A waiter joining an existing flight spends its whole time blocked on
+	// the leader; give the wait its own span so a traced request shows
+	// "coalesced onto an in-flight solve" instead of an unexplained gap.
+	_, _, finishWait := telemetry.StartSpanCtx(ctx, c.metrics, "runner/cache/wait")
+	telemetry.TraceFrom(ctx).Annotate("solve", "coalesced")
 	select {
 	case <-e.done:
+		finishWait()
 		return e.sys, e.err
 	case <-ctx.Done():
+		finishWait()
 		// This waiter gives up; the flight itself keeps running under the
 		// leader's context and stays cached for others.
 		return nil, fmt.Errorf("runner: cache wait for %s/%s: %w", key.app, key.cfg, ctx.Err())

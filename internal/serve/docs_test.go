@@ -42,6 +42,14 @@ func TestAPIDocCoversEveryRoute(t *testing.T) {
 	if len(documented) == 0 {
 		t.Fatal("no '### METHOD /path' headings found in docs/API.md")
 	}
+	// The observability surface is part of the contract, not an accident of
+	// the parity loop: /tracez must stay registered and documented.
+	if !registered["GET /tracez"] {
+		t.Error("GET /tracez is not registered")
+	}
+	if !documented["GET /tracez"] {
+		t.Error("GET /tracez is not documented in docs/API.md")
+	}
 }
 
 // TestEveryRouteResponds drives each documented route with its documented

@@ -1,12 +1,14 @@
 package serve
 
 import (
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
 
 	"repro/internal/cfi"
 	"repro/internal/pointsto"
+	"repro/internal/telemetry"
 )
 
 // submission is the request body shared by every analysis endpoint.
@@ -246,9 +248,48 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) *apiError
 }
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) *apiError {
+	// The registry's span log is capped at the source (telemetry.SetSpanCap,
+	// drops counted in telemetry/spans/dropped), so serving the snapshot
+	// whole is safe by construction — no per-endpoint stripping needed.
 	snap := s.metrics.Snapshot()
-	snap.Spans = nil // spans grow without bound; /metricsz is a gauge, not a trace sink
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(snap.Prometheus())
+		return nil
+	}
 	writeJSON(w, http.StatusOK, snap)
+	return nil
+}
+
+// handleTracez serves the flight recorder: with no query, the index of
+// retained request traces (recent ring + slowest shortlist); with ?id=, one
+// retained trace as Chrome trace-event JSON, loadable in Perfetto.
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) *apiError {
+	if id := r.URL.Query().Get("id"); id != "" {
+		if s.flight == nil {
+			return &apiError{Status: http.StatusNotFound, Kind: "not-found",
+				Msg: "tracing is disabled on this daemon"}
+		}
+		e, found := s.flight.Lookup(id)
+		if !found {
+			return &apiError{Status: http.StatusNotFound, Kind: "not-found",
+				Msg: fmt.Sprintf("no retained trace %q (evicted from the flight recorder, or never recorded)", id)}
+		}
+		data, err := e.ChromeTrace()
+		if err != nil {
+			return &apiError{Status: http.StatusInternalServerError, Kind: "internal",
+				Msg: "trace export failed: " + err.Error()}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+		return nil
+	}
+	if s.flight == nil {
+		writeJSON(w, http.StatusOK, telemetry.FlightIndex{
+			Recent: []telemetry.TraceSummary{}, Slowest: []telemetry.TraceSummary{}})
+		return nil
+	}
+	writeJSON(w, http.StatusOK, s.flight.Index())
 	return nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -52,6 +53,19 @@ type EndpointStat struct {
 	Max      time.Duration `json:"max_ns"`
 }
 
+// SlowRequest identifies one of the slowest requests of a load run by the
+// trace id the daemon issued for it, so an SLO violation points straight at
+// /tracez?id=<trace> evidence instead of an anonymous percentile.
+type SlowRequest struct {
+	Endpoint string        `json:"endpoint"`
+	Status   int           `json:"status"` // 0 = transport error
+	Latency  time.Duration `json:"latency_ns"`
+	TraceID  string        `json:"trace_id,omitempty"` // empty if the daemon is not tracing
+}
+
+// slowestK bounds the slow-request shortlist a load run retains.
+const slowestK = 5
+
 // LoadReport is the outcome of one load run.
 type LoadReport struct {
 	Elapsed   time.Duration           `json:"elapsed_ns"`
@@ -64,6 +78,7 @@ type LoadReport struct {
 	P99       time.Duration           `json:"p99_ns"`
 	Max       time.Duration           `json:"max_ns"`
 	Endpoints map[string]EndpointStat `json:"endpoints"`
+	Slowest   []SlowRequest           `json:"slowest,omitempty"` // latency-descending
 }
 
 // loadPrograms are the submission mix: small MiniC programs with indirect
@@ -154,6 +169,27 @@ func RunLoad(ctx context.Context, o LoadOpts) (*LoadReport, error) {
 	runCtx, cancel := context.WithDeadline(ctx, deadline)
 	defer cancel()
 
+	// Slow-request shortlist: the K highest latencies across all sessions,
+	// with the trace ids the daemon issued for them.
+	var (
+		slowMu  sync.Mutex
+		slowest []SlowRequest
+	)
+	noteSlow := func(sr SlowRequest) {
+		slowMu.Lock()
+		defer slowMu.Unlock()
+		i := sort.Search(len(slowest), func(i int) bool { return slowest[i].Latency < sr.Latency })
+		if i >= slowestK {
+			return
+		}
+		slowest = append(slowest, SlowRequest{})
+		copy(slowest[i+1:], slowest[i:])
+		slowest[i] = sr
+		if len(slowest) > slowestK {
+			slowest = slowest[:slowestK]
+		}
+	}
+
 	session := func(worker int) {
 		target := strings.TrimSuffix(o.Target, "/")
 		all := metrics.Histogram("loadgen/latency-ns/all")
@@ -163,7 +199,7 @@ func RunLoad(ctx context.Context, o LoadOpts) (*LoadReport, error) {
 			cfg := loadConfigs[pick(worker, n, 11, len(loadConfigs))]
 			endpoint, body := nextRequest(worker, n, prog.name, prog.source, cfg)
 			start := time.Now()
-			status, err := postJSON(runCtx, o.Client, target+endpoint, body)
+			status, traceID, err := postJSON(runCtx, o.Client, target+endpoint, body)
 			if err != nil && runCtx.Err() != nil {
 				// The run's deadline cut this request off mid-flight; that is
 				// the generator stopping, not the daemon failing.
@@ -174,6 +210,7 @@ func RunLoad(ctx context.Context, o LoadOpts) (*LoadReport, error) {
 			metrics.Histogram("loadgen/latency-ns" + endpoint).Observe(lat.Nanoseconds())
 			metrics.Counter("loadgen/requests" + endpoint).Inc()
 			requests.Add(1)
+			noteSlow(SlowRequest{Endpoint: endpoint, Status: status, Latency: lat, TraceID: traceID})
 			switch {
 			case err != nil:
 				errs.Add(1)
@@ -225,6 +262,9 @@ func RunLoad(ctx context.Context, o LoadOpts) (*LoadReport, error) {
 			Max:      time.Duration(h.Max),
 		}
 	}
+	slowMu.Lock()
+	rep.Slowest = slowest
+	slowMu.Unlock()
 	return rep, nil
 }
 
@@ -250,23 +290,26 @@ func nextRequest(worker, n int, name, source, cfg string) (endpoint string, body
 	}
 }
 
-func postJSON(ctx context.Context, client *http.Client, url string, body map[string]any) (int, error) {
+// postJSON performs one request and returns the status plus the trace id the
+// daemon assigned to it (the X-Kscope-Trace response header; empty when the
+// daemon is not tracing).
+func postJSON(ctx context.Context, client *http.Client, url string, body map[string]any) (int, string, error) {
 	payload, err := json.Marshal(body)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode, nil
+	return resp.StatusCode, resp.Header.Get(TraceHeader), nil
 }
 
 // SLOViolations checks the report against the gate and returns one line per
@@ -311,6 +354,17 @@ func (r *LoadReport) Text() string {
 		fmt.Fprintf(&b, "  %-14s n=%-6d p50=%-10v p99=%-10v max=%v\n",
 			e, s.Requests, s.P50.Round(time.Microsecond), s.P99.Round(time.Microsecond),
 			s.Max.Round(time.Microsecond))
+	}
+	if len(r.Slowest) > 0 {
+		fmt.Fprintf(&b, "slowest requests (inspect with GET /tracez?id=<trace>):\n")
+		for _, sr := range r.Slowest {
+			trace := sr.TraceID
+			if trace == "" {
+				trace = "-"
+			}
+			fmt.Fprintf(&b, "  %-14s status=%-3d latency=%-10v trace=%s\n",
+				sr.Endpoint, sr.Status, sr.Latency.Round(time.Microsecond), trace)
+		}
 	}
 	return b.String()
 }

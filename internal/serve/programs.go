@@ -8,11 +8,13 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/invariant"
 	"repro/internal/pointsto"
 	"repro/internal/runner"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -86,6 +88,7 @@ type analysis struct {
 // 503 kind "overloaded" for shed requests, 503 kind "budget" for solver
 // budget/timeout exhaustion, 500 for anything else (e.g. injected faults).
 func (s *Server) system(ctx context.Context, req submission) (*analysis, *apiError) {
+	tr := telemetry.TraceFrom(ctx) // nil without tracing; every method no-ops
 	name, src := req.Name, req.Source
 	if src == "" {
 		return nil, &apiError{Status: http.StatusBadRequest, Kind: "validation",
@@ -96,6 +99,8 @@ func (s *Server) system(ctx context.Context, req submission) (*analysis, *apiErr
 		return nil, &apiError{Status: http.StatusBadRequest, Kind: "validation", Msg: err.Error()}
 	}
 	hash := hashSource(src)
+	tr.Annotate("program", hash[:16])
+	tr.Annotate("config", cfg.Name())
 	app, _ := s.lookupProgram(hash, src)
 	// Compile before admission: a malformed program must cost a parse, not
 	// a solve slot. The module is memoized inside the App, so this is free
@@ -109,12 +114,21 @@ func (s *Server) system(ctx context.Context, req submission) (*analysis, *apiErr
 	cached := s.isSolved(key)
 	if cached {
 		s.metrics.Counter("serve/cache/hits").Inc()
+		tr.Annotate("cache", "hit")
 	} else {
 		s.metrics.Counter("serve/cache/misses").Inc()
-		release, apiErr := s.admit(ctx)
+		tr.Annotate("cache", "miss")
+		// The admission span makes queueing visible per request: a trace
+		// whose serve/admission span dominates was slow because the daemon
+		// was at capacity, not because its solve was expensive.
+		admitCtx, _, finishAdmit := telemetry.StartSpanCtx(ctx, s.metrics, "serve/admission")
+		release, apiErr := s.admit(admitCtx)
+		finishAdmit()
 		if apiErr != nil {
+			tr.Annotate("admission", "shed")
 			return nil, apiErr
 		}
+		tr.Annotate("admission", "admitted")
 		defer release()
 		s.mu.Lock()
 		hold := s.testHoldSolve
@@ -138,10 +152,18 @@ func (s *Server) system(ctx context.Context, req submission) (*analysis, *apiErr
 	}
 	if workers > 0 && !cached {
 		s.metrics.Counter("serve/solve/parallel").Inc()
+		tr.Annotate("parallel_workers", strconv.Itoa(workers))
 	}
-	sys, err := s.cache.SystemCtxOpts(ctx, app, cfg, runner.ComputeOpts{Parallel: workers})
+	// serve/solve wraps the whole cache resolution: a flight leader's trace
+	// nests core/analyze and the solver phases under it, a coalesced waiter
+	// nests runner/cache/wait, and a content-cache hit closes it near
+	// instantly — three shapes that tell three different latency stories.
+	solveCtx, _, finishSolve := telemetry.StartSpanCtx(ctx, s.metrics, "serve/solve")
+	sys, err := s.cache.SystemCtxOpts(solveCtx, app, cfg, runner.ComputeOpts{Parallel: workers})
+	finishSolve()
 	if err != nil {
 		if errors.Is(err, pointsto.ErrSolveAborted) {
+			tr.Annotate("budget", "exhausted")
 			return nil, &apiError{Status: http.StatusServiceUnavailable, Kind: "budget",
 				Msg:        fmt.Sprintf("analysis exceeded its solve budget and was aborted (no partial result): %v", err),
 				RetryAfter: s.cfg.RetryAfter}
@@ -150,5 +172,12 @@ func (s *Server) system(ctx context.Context, req submission) (*analysis, *apiErr
 			Msg: fmt.Sprintf("analysis failed: %v", err)}
 	}
 	s.markSolved(key)
+	// Budget spent, in the solver's own currency (constraint iterations of
+	// the optimistic stage); with a step budget configured the pair shows
+	// how close this program runs to the ceiling.
+	tr.Annotate("solver_iterations", strconv.Itoa(sys.Optimistic.Stats().Iterations))
+	if s.cfg.SolveSteps > 0 {
+		tr.Annotate("budget_steps", strconv.FormatInt(s.cfg.SolveSteps, 10))
+	}
 	return &analysis{Sys: sys, Hash: hash, Cfg: cfg, Cached: cached}, nil
 }

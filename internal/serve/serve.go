@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -96,7 +97,31 @@ type Config struct {
 	// Faults optionally arms fault injection on the analysis pipeline
 	// (CachePoison, SolverBudget), for chaos-testing the daemon.
 	Faults *faultinject.Plan
+
+	// AccessLog, when non-nil, receives one JSON line per finished request
+	// (time, trace id, method, route, status, latency). Writes are
+	// serialized by the server, so any io.Writer works.
+	AccessLog io.Writer
+
+	// TraceRecent and TraceSlowest size the flight recorder behind /tracez:
+	// the last TraceRecent finished request traces stay browsable, and of
+	// the traces aging out of that ring the TraceSlowest slowest are kept
+	// anyway. Defaults 64 and 8.
+	TraceRecent  int
+	TraceSlowest int
+
+	// DisableTracing turns off per-request traces and the flight recorder.
+	// Spans then record into the registry (bounded by its span cap), the
+	// X-Kscope-Trace header is not emitted, and /tracez serves an empty
+	// index. Analysis responses are byte-identical either way — tracing is
+	// a pure observer, which TestTracingByteIdentity asserts.
+	DisableTracing bool
 }
+
+// TraceHeader is the request/response header carrying the trace identity: a
+// request may supply its own (ValidTraceID) and every traced response echoes
+// the id under which the request's trace is retained.
+const TraceHeader = "X-Kscope-Trace"
 
 // solvedKey identifies one completed analysis in the content-hash cache.
 type solvedKey struct {
@@ -109,10 +134,12 @@ type solvedKey struct {
 type Server struct {
 	cfg     Config
 	metrics *telemetry.Registry
-	cache   *runner.Cache // single-flight (program, config) → *core.System
-	sem     chan struct{} // admission slots
+	cache   *runner.Cache             // single-flight (program, config) → *core.System
+	flight  *telemetry.FlightRecorder // retained request traces (nil = tracing disabled)
+	sem     chan struct{}             // admission slots
 	mux     *http.ServeMux
 	start   time.Time
+	logMu   sync.Mutex // serializes AccessLog writes
 
 	// degraded is the service view: false = optimistic (queue for a slot),
 	// true = fallback (shed uncached work immediately). See package doc.
@@ -157,6 +184,9 @@ func New(cfg Config) *Server {
 		apps:    map[string]*workload.App{},
 		solved:  map[solvedKey]bool{},
 	}
+	if !cfg.DisableTracing {
+		s.flight = telemetry.NewFlightRecorder(cfg.TraceRecent, cfg.TraceSlowest)
+	}
 	s.cache.SetBudget(pointsto.Budget{MaxSteps: cfg.SolveSteps})
 	if cfg.Faults != nil {
 		cfg.Faults.SetMetrics(cfg.Metrics)
@@ -187,6 +217,7 @@ func Routes() []Route {
 		{"POST", "/invariants", "likely invariants assumed by the optimistic analysis"},
 		{"GET", "/healthz", "liveness, service view, admission and cache occupancy"},
 		{"GET", "/metricsz", "telemetry snapshot (counters, gauges, timers, histograms)"},
+		{"GET", "/tracez", "recent and slowest request traces; ?id= exports one as Chrome trace JSON"},
 	}
 }
 
@@ -211,8 +242,13 @@ func (s *Server) Degraded() bool { return s.degraded.Load() }
 // means the handler already wrote its (successful) response.
 type handler func(w http.ResponseWriter, r *http.Request) *apiError
 
-// instrumented wires one route's method check, request counter, and latency
-// histogram around its handler.
+// instrumented wires one route's method check, request counter, latency
+// histogram, per-request trace, and access-log line around its handler.
+// When tracing is enabled it opens a telemetry.Trace per request (honoring a
+// client-supplied X-Kscope-Trace id, emitting the effective id back on the
+// same header), carries it through the request context so every span the
+// pipeline opens attaches to it, and files the finished trace into the
+// flight recorder for /tracez.
 func (s *Server) instrumented(rt Route) http.HandlerFunc {
 	var h handler
 	switch rt.Path {
@@ -228,6 +264,8 @@ func (s *Server) instrumented(rt Route) http.HandlerFunc {
 		h = s.handleHealthz
 	case "/metricsz":
 		h = s.handleMetricsz
+	case "/tracez":
+		h = s.handleTracez
 	default:
 		panic("serve: route with no handler: " + rt.Path)
 	}
@@ -236,17 +274,84 @@ func (s *Server) instrumented(rt Route) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		requests.Inc()
 		start := time.Now()
-		defer func() { latency.Observe(time.Since(start).Nanoseconds()) }()
+		var tr *telemetry.Trace
+		if s.flight != nil {
+			tr = telemetry.NewTrace(r.Header.Get(TraceHeader), "serve"+rt.Path)
+			w.Header().Set(TraceHeader, tr.ID())
+			ctx := telemetry.WithTrace(r.Context(), tr)
+			r = r.WithContext(telemetry.WithSpan(ctx, tr.Root()))
+		}
+		sw := &statusWriter{ResponseWriter: w}
 		if r.Method != rt.Method {
-			w.Header().Set("Allow", rt.Method)
-			s.writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Kind: "method",
+			sw.Header().Set("Allow", rt.Method)
+			s.writeError(sw, &apiError{Status: http.StatusMethodNotAllowed, Kind: "method",
 				Msg: fmt.Sprintf("%s requires %s", rt.Path, rt.Method)})
-			return
+		} else if apiErr := h(sw, r); apiErr != nil {
+			s.writeError(sw, apiErr)
 		}
-		if apiErr := h(w, r); apiErr != nil {
-			s.writeError(w, apiErr)
+		lat := time.Since(start)
+		latency.Observe(lat.Nanoseconds())
+		if tr != nil {
+			tr.Annotate("status", strconv.Itoa(sw.Status()))
+			s.flight.Record(tr)
 		}
+		s.logAccess(tr, r.Method, rt.Path, sw.Status(), lat)
 	}
+}
+
+// statusWriter captures the status a handler writes, for the trace
+// annotation and the access log. An unset status means an implicit 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Status returns the response status (200 if the handler never set one).
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// accessEntry is one JSON line of the access log.
+type accessEntry struct {
+	Time      string  `json:"time"`
+	Trace     string  `json:"trace,omitempty"`
+	Method    string  `json:"method"`
+	Path      string  `json:"path"`
+	Status    int     `json:"status"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// logAccess emits one access-log line (no-op without Config.AccessLog).
+// Lines are written whole under a lock so concurrent requests never
+// interleave mid-line.
+func (s *Server) logAccess(tr *telemetry.Trace, method, path string, status int, lat time.Duration) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	line, err := json.Marshal(accessEntry{
+		Time:      time.Now().UTC().Format(time.RFC3339Nano),
+		Trace:     tr.ID(),
+		Method:    method,
+		Path:      path,
+		Status:    status,
+		LatencyMS: float64(lat) / float64(time.Millisecond),
+	})
+	if err != nil {
+		return
+	}
+	s.logMu.Lock()
+	s.cfg.AccessLog.Write(append(line, '\n'))
+	s.logMu.Unlock()
 }
 
 // apiError is a typed error response; every non-2xx the daemon emits is one.

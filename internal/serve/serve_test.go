@@ -317,9 +317,14 @@ func TestCFITargetsAndInvariants(t *testing.T) {
 	}
 }
 
-// TestHealthzAndMetricsz checks both observation endpoints' shapes.
+// TestHealthzAndMetricsz checks both observation endpoints' shapes, and that
+// the registry span log /metricsz serves is bounded at the source rather than
+// stripped per endpoint. Tracing is disabled so request spans land in the
+// registry (with tracing on they divert to per-request traces).
 func TestHealthzAndMetricsz(t *testing.T) {
-	_, ts := newTestServer(t, Config{MaxInflight: 3})
+	metrics := telemetry.New()
+	metrics.SetSpanCap(4)
+	_, ts := newTestServer(t, Config{MaxInflight: 3, Metrics: metrics, DisableTracing: true})
 	status, health := get(t, ts, "/healthz")
 	if status != http.StatusOK || health["status"] != "ok" || health["view"] != "optimistic" {
 		t.Fatalf("healthz: %d %v", status, health)
@@ -327,7 +332,10 @@ func TestHealthzAndMetricsz(t *testing.T) {
 	if cap, _ := health["capacity"].(float64); cap != 3 {
 		t.Fatalf("capacity = %v, want 3", health["capacity"])
 	}
-	post(t, ts, "/analyze", map[string]any{"source": demoSource, "config": "baseline"})
+	// Several uncached solves emit far more than 4 spans total.
+	for i := 0; i < 3; i++ {
+		post(t, ts, "/analyze", map[string]any{"source": variantSource(i), "config": "baseline"})
+	}
 	status, snap := get(t, ts, "/metricsz")
 	if status != http.StatusOK {
 		t.Fatalf("metricsz: %d", status)
@@ -336,8 +344,12 @@ func TestHealthzAndMetricsz(t *testing.T) {
 	if counters["serve/requests/analyze"] == nil || counters["core/analyses"] == nil {
 		t.Fatalf("metricsz missing serve/core counters: %v", counters)
 	}
-	if _, hasSpans := snap["spans"]; hasSpans {
-		t.Fatal("metricsz leaks the unbounded span log")
+	spans, _ := snap["spans"].([]any)
+	if len(spans) > 4 {
+		t.Fatalf("span log exceeds its cap: %d spans kept, cap 4", len(spans))
+	}
+	if dropped, _ := counters["telemetry/spans/dropped"].(float64); dropped <= 0 {
+		t.Fatalf("telemetry/spans/dropped = %v, want > 0 (cap 4 with multiple solves)", counters["telemetry/spans/dropped"])
 	}
 }
 
@@ -386,6 +398,26 @@ func TestRunLoadAgainstServer(t *testing.T) {
 	}
 	if !strings.Contains(rep.Text(), "latency: p50=") {
 		t.Fatalf("report text missing latency line:\n%s", rep.Text())
+	}
+	// The slow-request shortlist ties SLO violations to trace evidence: every
+	// entry must carry the trace id the (tracing-enabled) daemon issued, and
+	// the report text must point at /tracez.
+	if len(rep.Slowest) == 0 {
+		t.Fatalf("report retained no slow requests: %+v", rep)
+	}
+	for i, sr := range rep.Slowest {
+		if sr.TraceID == "" {
+			t.Fatalf("slowest[%d] has no trace id: %+v", i, sr)
+		}
+		if !telemetry.ValidTraceID(sr.TraceID) {
+			t.Fatalf("slowest[%d] trace id %q is not a valid trace id", i, sr.TraceID)
+		}
+		if i > 0 && sr.Latency > rep.Slowest[i-1].Latency {
+			t.Fatalf("slowest list not latency-descending at %d: %+v", i, rep.Slowest)
+		}
+	}
+	if !strings.Contains(rep.Text(), "trace=") || !strings.Contains(rep.Text(), "/tracez?id=") {
+		t.Fatalf("report text missing slow-request trace pointers:\n%s", rep.Text())
 	}
 }
 

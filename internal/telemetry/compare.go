@@ -1,10 +1,48 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"os"
 	"sort"
 	"strings"
+	"time"
 )
+
+// LoadSnapshot reads a Snapshot either from a file previously written by
+// kscope-bench -metrics-json, or — when the argument starts with http:// or
+// https:// — from a live /metricsz endpoint, so one -compare-metrics flag
+// gates against recorded baselines and running daemons alike.
+func LoadSnapshot(pathOrURL string) (Snapshot, error) {
+	var (
+		data []byte
+		err  error
+	)
+	if strings.HasPrefix(pathOrURL, "http://") || strings.HasPrefix(pathOrURL, "https://") {
+		client := &http.Client{Timeout: 10 * time.Second}
+		resp, getErr := client.Get(pathOrURL)
+		if getErr != nil {
+			return Snapshot{}, getErr
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return Snapshot{}, fmt.Errorf("%s: status %d", pathOrURL, resp.StatusCode)
+		}
+		data, err = io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	} else {
+		data, err = os.ReadFile(pathOrURL)
+	}
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return Snapshot{}, fmt.Errorf("%s: %w", pathOrURL, err)
+	}
+	return snap, nil
+}
 
 // Delta is one instrument's change between two snapshots. Value semantics
 // per kind: counters and gauges compare their integer value, timers their

@@ -1,0 +1,149 @@
+package telemetry
+
+// The flight recorder is the retention policy behind /tracez: every finished
+// request trace passes through it, the last N stay browsable, and of the
+// traces that age out of that ring the slowest K are kept anyway — the
+// interesting traces are almost always the slow ones, and they are exactly
+// the ones a fixed ring would have evicted by the time anyone looks.
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Default flight-recorder retention.
+const (
+	DefaultFlightRecent  = 64
+	DefaultFlightSlowest = 8
+)
+
+// FlightRecorder retains finished traces: a ring of the most recent plus a
+// duration-ordered shortlist of the slowest traces evicted from that ring
+// (a trace is in one list or the other, never both). Evictions that qualify
+// for neither are counted, not kept. Safe for concurrent use; all methods
+// are safe on a nil recorder.
+type FlightRecorder struct {
+	mu        sync.Mutex
+	recentCap int
+	slowCap   int
+	recent    []TraceExport // oldest first
+	slowest   []TraceExport // duration-descending
+	dropped   int64
+}
+
+// NewFlightRecorder builds a recorder retaining the last `recent` finished
+// traces and the `slowest` slowest evicted ones (non-positive values take
+// the defaults).
+func NewFlightRecorder(recent, slowest int) *FlightRecorder {
+	if recent <= 0 {
+		recent = DefaultFlightRecent
+	}
+	if slowest <= 0 {
+		slowest = DefaultFlightSlowest
+	}
+	return &FlightRecorder{recentCap: recent, slowCap: slowest}
+}
+
+// Record finishes t and retains its export. Safe on a nil recorder or trace.
+func (f *FlightRecorder) Record(t *Trace) {
+	if f == nil || t == nil {
+		return
+	}
+	t.Finish()
+	e := t.Export()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.recent = append(f.recent, e)
+	if len(f.recent) > f.recentCap {
+		evicted := f.recent[0]
+		f.recent = append(f.recent[:0], f.recent[1:]...)
+		f.keepSlowest(evicted)
+	}
+}
+
+// keepSlowest inserts a ring-evicted trace into the slowest shortlist,
+// dropping the fastest overflow (counted in dropped). Callers hold f.mu.
+func (f *FlightRecorder) keepSlowest(e TraceExport) {
+	i := sort.Search(len(f.slowest), func(i int) bool {
+		return f.slowest[i].DurMS < e.DurMS
+	})
+	f.slowest = append(f.slowest, TraceExport{})
+	copy(f.slowest[i+1:], f.slowest[i:])
+	f.slowest[i] = e
+	if len(f.slowest) > f.slowCap {
+		f.slowest = f.slowest[:f.slowCap]
+		f.dropped++
+	}
+}
+
+// Lookup returns the retained trace with the given id (recent ring first,
+// then the slowest shortlist).
+func (f *FlightRecorder) Lookup(id string) (TraceExport, bool) {
+	if f == nil {
+		return TraceExport{}, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// Newest first: a reused id (clients may replay a header) resolves to
+	// its latest occurrence.
+	for i := len(f.recent) - 1; i >= 0; i-- {
+		if f.recent[i].ID == id {
+			return f.recent[i], true
+		}
+	}
+	for _, e := range f.slowest {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return TraceExport{}, false
+}
+
+// TraceSummary is one retained trace in the /tracez index.
+type TraceSummary struct {
+	ID           string            `json:"id"`
+	Name         string            `json:"name"`
+	Start        time.Time         `json:"start"`
+	DurMS        float64           `json:"dur_ms"`
+	Spans        int               `json:"spans"`
+	SpansDropped int64             `json:"spans_dropped,omitempty"`
+	Annotations  map[string]string `json:"annotations,omitempty"`
+}
+
+// FlightIndex is the /tracez index body.
+type FlightIndex struct {
+	Recent  []TraceSummary `json:"recent"`  // newest first
+	Slowest []TraceSummary `json:"slowest"` // slowest first
+	Dropped int64          `json:"dropped"` // evicted traces retained nowhere
+}
+
+// Index summarizes the recorder's current contents.
+func (f *FlightRecorder) Index() FlightIndex {
+	idx := FlightIndex{Recent: []TraceSummary{}, Slowest: []TraceSummary{}}
+	if f == nil {
+		return idx
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := len(f.recent) - 1; i >= 0; i-- {
+		idx.Recent = append(idx.Recent, summarize(f.recent[i]))
+	}
+	for _, e := range f.slowest {
+		idx.Slowest = append(idx.Slowest, summarize(e))
+	}
+	idx.Dropped = f.dropped
+	return idx
+}
+
+func summarize(e TraceExport) TraceSummary {
+	return TraceSummary{
+		ID:           e.ID,
+		Name:         e.Name,
+		Start:        e.Start,
+		DurMS:        e.DurMS,
+		Spans:        len(e.Spans),
+		SpansDropped: e.SpansDropped,
+		Annotations:  e.Annotations,
+	}
+}

@@ -1,0 +1,72 @@
+package telemetry
+
+// Prometheus text exposition (format version 0.0.4) of a Snapshot, served
+// by kscope-serve's /metricsz?format=prom so standard scrapers can collect
+// the daemon without speaking the JSON snapshot.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Prometheus renders the snapshot in the Prometheus text exposition format.
+// Instrument names are mangled to the metric charset (every byte outside
+// [a-zA-Z0-9_] becomes "_") under a "kscope_" prefix. Counters and gauges
+// export directly; timers become a pair of counters (<name>_total_ms,
+// <name>_calls); histograms become summaries (p50/p90/p99 quantiles plus
+// <name>_sum and <name>_count). Lines are sorted by original instrument
+// name, so successive scrapes diff cleanly. Spans are not exported — they
+// are /tracez's job.
+func (s Snapshot) Prometheus() []byte {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		m := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", m, m, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		m := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", m, m, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Timers) {
+		t := s.Timers[name]
+		m := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s_total_ms counter\n%s_total_ms %g\n", m, m, t.TotalMS)
+		fmt.Fprintf(&b, "# TYPE %s_calls counter\n%s_calls %d\n", m, m, t.Count)
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		m := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s summary\n", m)
+		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %d\n", m, h.P50)
+		fmt.Fprintf(&b, "%s{quantile=\"0.9\"} %d\n", m, h.P90)
+		fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %d\n", m, h.P99)
+		fmt.Fprintf(&b, "%s_sum %d\n", m, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", m, h.Count)
+	}
+	return []byte(b.String())
+}
+
+// promName mangles an instrument name ("serve/latency-ns/analyze") into the
+// Prometheus metric charset ("kscope_serve_latency_ns_analyze").
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("kscope_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_',
+			c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := keysOf(m)
+	sort.Strings(keys)
+	return keys
+}

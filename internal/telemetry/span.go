@@ -9,6 +9,21 @@ import (
 	"time"
 )
 
+// spanSink is where a finished span lands: the process-global Registry or a
+// request-scoped Trace. A child span inherits its parent's sink, so an
+// entire subtree records wherever its root was opened — solver and runner
+// spans flow into a request trace without those packages knowing traces
+// exist, because the parent handle they already thread through carries the
+// destination.
+type spanSink interface {
+	nextSpanID() int64
+	spanEpoch() time.Time
+	recordSpan(SpanRecord)
+}
+
+func (r *Registry) nextSpanID() int64    { return atomic.AddInt64(&r.spanID, 1) }
+func (r *Registry) spanEpoch() time.Time { return r.epoch }
+
 // Span is one in-flight interval of the pipeline (an artifact render, an
 // analysis stage, a solver phase, an interpreter run). Spans nest through an
 // explicit parent handle rather than goroutine-local state, so a child span
@@ -16,7 +31,7 @@ import (
 // the runner.Map pool. A nil *Span is a valid handle: it is what a nil
 // Registry hands out, it is accepted as a parent, and all its methods no-op.
 type Span struct {
-	r      *Registry
+	sink   spanSink
 	id     int64
 	parent int64
 	name   string
@@ -26,7 +41,7 @@ type Span struct {
 }
 
 // SpanRecord is one finished span in a Snapshot. Start is relative to the
-// registry's creation, so exported traces are stable across machines.
+// sink's creation, so exported traces are stable across machines.
 type SpanRecord struct {
 	ID     int64         `json:"id"`
 	Parent int64         `json:"parent,omitempty"` // 0 = root
@@ -36,18 +51,33 @@ type SpanRecord struct {
 	Worker int           `json:"worker"`
 }
 
+// spanSinkFor resolves where a new span records: a non-nil parent's own sink
+// wins (so children follow their parent into a Trace), then the registry;
+// with neither, the span is not recorded at all.
+func spanSinkFor(r *Registry, parent *Span) spanSink {
+	if parent != nil && parent.sink != nil {
+		return parent.sink
+	}
+	if r == nil {
+		return nil
+	}
+	return r
+}
+
 // StartSpan opens a span under parent (nil parent = root) and returns the
 // handle plus the finish func that records it. The handle may be passed to
 // other goroutines as the parent of child spans; the finish func must be
 // called exactly once (later calls no-op). A nil registry returns a nil span
-// and a no-op finish, so call sites pay a nil check only.
+// and a no-op finish — unless the parent carries its own sink (it belongs to
+// a Trace), in which case the child records there.
 func (r *Registry) StartSpan(name string, parent *Span) (*Span, func()) {
-	if r == nil {
+	sink := spanSinkFor(r, parent)
+	if sink == nil {
 		return nil, func() {}
 	}
 	s := &Span{
-		r:     r,
-		id:    atomic.AddInt64(&r.spanID, 1),
+		sink:  sink,
+		id:    sink.nextSpanID(),
 		name:  name,
 		start: time.Now(),
 	}
@@ -67,16 +97,16 @@ func (s *Span) SetWorker(id int) {
 	}
 }
 
-// finish records the completed span into the registry.
+// finish records the completed span into its sink.
 func (s *Span) finish() {
 	if s == nil || !atomic.CompareAndSwapInt32(&s.done, 0, 1) {
 		return
 	}
-	s.r.recordSpan(SpanRecord{
+	s.sink.recordSpan(SpanRecord{
 		ID:     s.id,
 		Parent: s.parent,
 		Name:   s.name,
-		Start:  s.start.Sub(s.r.epoch),
+		Start:  s.start.Sub(s.sink.spanEpoch()),
 		Dur:    time.Since(s.start),
 		Worker: int(atomic.LoadInt32(&s.worker)),
 	})
@@ -85,33 +115,43 @@ func (s *Span) finish() {
 // RecordSpan appends an already-measured interval as a finished span — the
 // retroactive form of StartSpan for phases whose timing was captured before
 // a registry was attached (e.g. constraint-graph construction inside
-// pointsto.New). It returns a handle usable as a parent. A nil registry
-// returns nil and records nothing.
+// pointsto.New). It returns a handle usable as a parent. Like StartSpan, the
+// record follows a sink-bearing parent into its Trace; with a nil registry
+// and no such parent it returns nil and records nothing.
 func (r *Registry) RecordSpan(name string, parent *Span, start time.Time, d time.Duration) *Span {
-	if r == nil {
+	sink := spanSinkFor(r, parent)
+	if sink == nil {
 		return nil
 	}
-	s := &Span{r: r, id: atomic.AddInt64(&r.spanID, 1), name: name, done: 1}
+	s := &Span{sink: sink, id: sink.nextSpanID(), name: name, done: 1}
 	var worker int32
 	if parent != nil {
 		s.parent = parent.id
 		worker = atomic.LoadInt32(&parent.worker)
 		s.worker = worker
 	}
-	r.recordSpan(SpanRecord{
+	sink.recordSpan(SpanRecord{
 		ID:     s.id,
 		Parent: s.parent,
 		Name:   name,
-		Start:  start.Sub(r.epoch),
+		Start:  start.Sub(sink.spanEpoch()),
 		Dur:    d,
 		Worker: int(worker),
 	})
 	return s
 }
 
-// recordSpan appends one finished record.
+// recordSpan appends one finished record, dropping past the retention cap
+// (counted in "telemetry/spans/dropped") so a snapshot is bounded no matter
+// how long the registry lives — a long-running daemon keeps the first
+// spanCap spans as a sample instead of growing without bound.
 func (r *Registry) recordSpan(rec SpanRecord) {
 	r.spanMu.Lock()
+	if r.spanCap > 0 && len(r.spans) >= r.spanCap {
+		r.spanMu.Unlock()
+		r.Counter("telemetry/spans/dropped").Inc()
+		return
+	}
 	r.spans = append(r.spans, rec)
 	r.spanMu.Unlock()
 }
@@ -129,15 +169,10 @@ type traceEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// ChromeTrace renders the snapshot's spans as Chrome trace-event JSON
-// (object form, {"traceEvents": [...]}), viewable in Perfetto. Each span
-// becomes one complete ("X") event; the worker id becomes the thread lane.
-func (s Snapshot) ChromeTrace() ([]byte, error) {
-	events := []traceEvent{{
-		Name: "process_name", Ph: "M", PID: 1, TID: 0,
-		Args: map[string]any{"name": "kscope"},
-	}}
-	for _, sp := range s.Spans {
+// appendSpanEvents converts spans to complete ("X") events; the worker id
+// becomes the thread lane.
+func appendSpanEvents(events []traceEvent, spans []SpanRecord) []traceEvent {
+	for _, sp := range spans {
 		events = append(events, traceEvent{
 			Name: sp.Name,
 			Cat:  "kscope",
@@ -149,10 +184,26 @@ func (s Snapshot) ChromeTrace() ([]byte, error) {
 			Args: map[string]any{"id": sp.ID, "parent": sp.Parent},
 		})
 	}
+	return events
+}
+
+// marshalChrome wraps events in the object form ({"traceEvents": [...]}).
+func marshalChrome(events []traceEvent) ([]byte, error) {
 	return json.MarshalIndent(struct {
 		TraceEvents     []traceEvent `json:"traceEvents"`
 		DisplayTimeUnit string       `json:"displayTimeUnit"`
 	}{events, "ms"}, "", " ")
+}
+
+// ChromeTrace renders the snapshot's spans as Chrome trace-event JSON
+// (object form, {"traceEvents": [...]}), viewable in Perfetto. Each span
+// becomes one complete ("X") event; the worker id becomes the thread lane.
+func (s Snapshot) ChromeTrace() ([]byte, error) {
+	events := []traceEvent{{
+		Name: "process_name", Ph: "M", PID: 1, TID: 0,
+		Args: map[string]any{"name": "kscope"},
+	}}
+	return marshalChrome(appendSpanEvents(events, s.Spans))
 }
 
 // spanTree renders the snapshot's spans as an aggregated text tree: children

@@ -126,12 +126,21 @@ type Registry struct {
 	histograms map[string]*Histogram
 
 	// Span state: a monotonically increasing id, the time origin every
-	// exported span start is relative to, and the finished-span log.
-	spanID int64
-	epoch  time.Time
-	spanMu sync.Mutex
-	spans  []SpanRecord
+	// exported span start is relative to, and the finished-span log, bounded
+	// by spanCap (keep-first: the log is a sample of the process's early
+	// life, drops are counted, and Snapshot stays safely sized forever).
+	spanID  int64
+	epoch   time.Time
+	spanMu  sync.Mutex
+	spans   []SpanRecord
+	spanCap int
 }
+
+// DefaultSpanCap bounds a Registry's finished-span log. Generous enough
+// that a full evaluation run (the 9-app × 8-config matrix) keeps every
+// span, small enough that a long-lived daemon's /metricsz snapshot cannot
+// grow without bound. Adjust per registry with SetSpanCap.
+const DefaultSpanCap = 65536
 
 // New returns an empty registry.
 func New() *Registry {
@@ -141,7 +150,20 @@ func New() *Registry {
 		timers:     map[string]*Timer{},
 		histograms: map[string]*Histogram{},
 		epoch:      time.Now(),
+		spanCap:    DefaultSpanCap,
 	}
+}
+
+// SetSpanCap replaces the finished-span retention cap (n <= 0 disables the
+// bound). Spans recorded past the cap are dropped and counted in
+// "telemetry/spans/dropped". Safe on a nil registry.
+func (r *Registry) SetSpanCap(n int) {
+	if r == nil {
+		return
+	}
+	r.spanMu.Lock()
+	r.spanCap = n
+	r.spanMu.Unlock()
 }
 
 // Counter returns the named counter, creating it on first use. A nil
