@@ -30,6 +30,10 @@
 //	-parallel-solve N     solve every analysis with the parallel wave solver
 //	                      at N workers (0 = sequential unless a request sets
 //	                      "parallel": true; results are byte-identical)
+//	-intern               hash-cons points-to sets during every solve
+//	                      (copy-on-write shared storage; results are
+//	                      byte-identical, so this only cuts memory — a
+//	                      request can also opt in with "intern": true)
 //	-fault-seed N         arm the seeded fault-injection plan N (0 = off),
 //	                      for chaos-testing the daemon
 //	-access-log DEST      JSON-lines access log: "off" (default), "stderr",
@@ -81,6 +85,7 @@ func main() {
 		maxPrograms  = flag.Int("max-programs", 128, "distinct cached programs before eviction")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 503s")
 		parallel     = flag.Int("parallel-solve", 0, "parallel wave solver workers per analysis (0 = sequential)")
+		intern       = flag.Bool("intern", false, "hash-cons points-to sets during every solve (pure memory optimization)")
 		faultSeed    = flag.Int64("fault-seed", 0, "arm seeded fault injection (0 = off)")
 		accessLog    = flag.String("access-log", "off", "JSON-lines access log: off, stderr, stdout, or a file path")
 		traceRecent  = flag.Int("trace-recent", 0, "request traces kept in the /tracez recent ring (0 = default 64)")
@@ -108,6 +113,7 @@ func main() {
 		MaxPrograms:    *maxPrograms,
 		RetryAfter:     *retryAfter,
 		Parallel:       *parallel,
+		Intern:         *intern,
 		Metrics:        telemetry.New(),
 		TraceRecent:    *traceRecent,
 		TraceSlowest:   *traceSlowest,

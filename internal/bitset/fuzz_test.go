@@ -22,6 +22,10 @@ func FuzzBitsetModel(f *testing.F) {
 		b := New(0)
 		model := map[int]bool{}
 		modelB := map[int]bool{}
+		// A deliberately tiny pool so op 8/9 streams also cross eviction:
+		// interned sets regularly go stale and re-canonicalize mid-stream,
+		// and every mutator below then runs against shared storage.
+		pool := NewPool(4)
 		// elem decodes a byte into a value that hovers around the
 		// InlineThreshold cardinality range for small bytes and jumps past
 		// the 64-bit word boundary for large ones, so promotion triggers on
@@ -34,7 +38,7 @@ func FuzzBitsetModel(f *testing.F) {
 			return int(v % 11) // dense small values around the threshold
 		}
 		for i := 0; i+1 < len(data); i += 2 {
-			op, v := data[i]%8, data[i+1]
+			op, v := data[i]%10, data[i+1]
 			x := elem(v)
 			switch op {
 			case 0:
@@ -88,6 +92,13 @@ func FuzzBitsetModel(f *testing.F) {
 			case 7:
 				b.Clear()
 				modelB = map[int]bool{}
+			case 8:
+				pool.Intern(s)
+			case 9:
+				pool.Intern(b)
+				if b.Len() != len(modelB) {
+					t.Fatalf("intern changed b: Len = %d, model %d", b.Len(), len(modelB))
+				}
 			}
 			if s.Len() != len(model) {
 				t.Fatalf("Len = %d, model %d", s.Len(), len(model))
@@ -113,6 +124,105 @@ func FuzzBitsetModel(f *testing.F) {
 		}
 		if len(want) == 0 && (s.Min() != -1 || s.Max() != -1) {
 			t.Fatal("Min/Max of empty set should be -1")
+		}
+	})
+}
+
+// FuzzInternModel is the interning counterpart of FuzzBitsetModel: a small
+// family of sets interleaves intern, mutate (forcing copy-on-write
+// promotion), clone, and pool flushes against per-set map models, asserting
+// after every step that no mutation ever leaks through shared storage and
+// that the pointer-equality fast path never contradicts content equality.
+//
+// Run continuously with
+//
+//	go test -run '^$' -fuzz '^FuzzInternModel$' ./internal/bitset
+func FuzzInternModel(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x10, 0x01, 0x23, 0x00, 0x31, 0x00, 0x04, 0x00})
+	f.Add([]byte("\x00\x50\x06\x00\x10\x50\x16\x00\x23\x00\x07\x00\x26\x00"))
+	f.Add([]byte{0x02, 0x40, 0x12, 0x40, 0x06, 0x00, 0x16, 0x00, 0x33, 0x00, 0x05, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const slots = 4
+		pool := NewPool(3) // tiny: streams routinely cross eviction
+		sets := [slots]*Set{}
+		models := [slots]map[int]bool{}
+		for i := range sets {
+			sets[i] = New(0)
+			models[i] = map[int]bool{}
+		}
+		check := func() {
+			for i := 0; i < slots; i++ {
+				if sets[i].Len() != len(models[i]) {
+					t.Fatalf("slot %d: Len = %d, model %d", i, sets[i].Len(), len(models[i]))
+				}
+				for _, x := range sets[i].Elements() {
+					if !models[i][x] {
+						t.Fatalf("slot %d: stray element %d", i, x)
+					}
+				}
+				for j := 0; j < slots; j++ {
+					same := len(models[i]) == len(models[j])
+					if same {
+						for k := range models[i] {
+							if !models[j][k] {
+								same = false
+								break
+							}
+						}
+					}
+					if sets[i].SharesStorageWith(sets[j]) && !same {
+						t.Fatalf("slots %d/%d share storage with unequal models", i, j)
+					}
+					if sets[i].Equal(sets[j]) != same {
+						t.Fatalf("slots %d/%d: Equal = %v, models same = %v", i, j, !same, same)
+					}
+				}
+			}
+		}
+		for i := 0; i+1 < len(data); i += 2 {
+			hi, lo := int(data[i]>>4), data[i]&0x0f
+			a, b := hi%slots, int(lo)%slots
+			v := data[i+1]
+			x := int(v % 19)
+			if v >= 0xe0 {
+				x = int(v) * 97 // multi-word magnitudes
+			}
+			switch int(lo>>2) + 4*(hi/slots) {
+			case 0: // add
+				sets[a].Add(x)
+				models[a][x] = true
+			case 1: // remove
+				sets[a].Remove(x)
+				delete(models[a], x)
+			case 2: // intern
+				pool.Intern(sets[a])
+			case 3: // union b into a (often between two interned sharers)
+				sets[a].UnionWith(sets[b])
+				for k := range models[b] {
+					models[a][k] = true
+				}
+			case 4: // clone b over a (clones of interned sets stay shared)
+				sets[a] = sets[b].Clone()
+				nm := make(map[int]bool, len(models[b]))
+				for k := range models[b] {
+					nm[k] = true
+				}
+				models[a] = nm
+			case 5: // clear
+				sets[a].Clear()
+				models[a] = map[int]bool{}
+			case 6: // flush: weak-release every canonical entry
+				pool.Flush()
+			case 7: // intern everything: maximal sharing pressure
+				for j := range sets {
+					pool.Intern(sets[j])
+				}
+			}
+			check()
+		}
+		st := pool.Stats()
+		if st.Entries < 0 || st.Evictions < 0 || st.Hits+st.SelfHits+st.Misses < 0 {
+			t.Fatalf("implausible stats %+v", st)
 		}
 	})
 }

@@ -1,0 +1,253 @@
+package bitset
+
+import (
+	"sync/atomic"
+)
+
+// Hash-consing for points-to sets. A Pool maps canonical set contents to a
+// single shared immutable storage block, so the thousands of equal fixpoint
+// sets a solve produces collapse to one words array (and one memoized element
+// slice) each. Sharing is transparent to Set's API: a shared set reads like
+// any other, and the first mutation that would write through shared storage
+// copies it back to private ownership first ("copy-on-write promotion", see
+// unshare in bitset.go). On interned sets, equality and subset checks
+// degenerate to a pointer comparison on the canonical entry.
+//
+// Ownership rules:
+//
+//   - The pool owns an entry's words array and memoized element slice; both
+//     are immutable for the entry's lifetime. Every holder of a shared Set
+//     aliases them.
+//   - A holder may call any mutator at any time: the mutator un-shares first
+//     (one words copy), detaches from the entry, and proceeds on private
+//     storage. Other holders and the pool are never affected.
+//   - Elements() on a shared set returns the canonical memoized slice;
+//     callers must treat it as read-only (all solver call sites only iterate).
+//
+// Concurrency: Intern, Flush, and Len mutate pool structure and must be
+// confined to one goroutine at a time — the solver calls them only from
+// serial phases (worklist pops, wave level barriers, the post-fixpoint
+// sweep). Shared sets themselves may be read from many goroutines (the
+// parallel gather phase does), and the entry-side state a reader can touch —
+// the memoized element slice and the statistics counters — is atomic, so a
+// stray Elements() or copy-on-write promotion from a worker is safe even
+// though the pool map is not.
+
+// internEntry is the pool-side canonical representation of one set content.
+type internEntry struct {
+	pool  *Pool
+	gen   uint32 // pool generation at insert; stale after a flush
+	hash  uint64
+	words []uint64 // canonical storage, immutable; aliased by every holder
+	count int
+	elems atomic.Pointer[[]int] // memoized Elements(), computed once on demand
+}
+
+// elements returns the entry's memoized ascending element slice, computing it
+// on first use. Concurrent first calls may race to compute; the first store
+// wins and duplicates are dropped, so the result is always consistent.
+func (e *internEntry) elements() []int {
+	if p := e.elems.Load(); p != nil {
+		return *p
+	}
+	view := Set{words: e.words, count: e.count}
+	out := make([]int, 0, e.count)
+	view.ForEach(func(x int) bool {
+		out = append(out, x)
+		return true
+	})
+	if e.elems.CompareAndSwap(nil, &out) {
+		return out
+	}
+	return *e.elems.Load()
+}
+
+// PoolStats is a snapshot of a Pool's counters. All values are cumulative
+// except Entries and WordBytes, which describe the current pool contents.
+type PoolStats struct {
+	Hits       int64 // Intern found an existing entry: storage newly shared
+	SelfHits   int64 // Intern on a set already canonical in this pool: no-op
+	Misses     int64 // Intern inserted a new entry
+	Promotions int64 // copy-on-write promotions: a mutator un-shared a set
+	Evictions  int64 // entries dropped by flushes (capacity or explicit)
+	Flushes    int64 // times the pool was emptied
+	Entries    int   // live entries
+	WordBytes  int64 // bytes of canonical word storage currently pooled
+	// BytesShared estimates allocation avoided by sharing: on every hit, the
+	// holder aliases the canonical words (and element slice, if materialized)
+	// instead of owning a private copy.
+	BytesShared int64
+}
+
+// Pool is a hash-consing pool for vector-mode Sets. Inline sets are below
+// the sharing payoff (they already live in the Set header) and pass through
+// Intern unchanged. The zero Pool is not usable; construct with NewPool.
+type Pool struct {
+	limit   int // entry count that triggers a flush; <=0 means unbounded
+	gen     uint32
+	buckets map[uint64][]*internEntry
+	entries int
+	wordsB  int64
+
+	hits, selfHits, misses, evictions, flushes int64
+	promotions, bytesShared                    atomic.Int64
+}
+
+// DefaultPoolLimit bounds a pool's entry count when NewPool is given a
+// non-positive limit. Exceeding the bound flushes the whole pool (entries
+// are released; live shared sets keep working and simply re-intern on next
+// use), which keeps the pool from accumulating every transient set content a
+// long fixpoint iteration ever produced. A 10k-node solve uses ~2.4k distinct
+// contents, so the default never flushes on today's tiers.
+const DefaultPoolLimit = 1 << 15
+
+// NewPool returns an empty pool that flushes when it exceeds limit entries
+// (DefaultPoolLimit if limit <= 0).
+func NewPool(limit int) *Pool {
+	if limit <= 0 {
+		limit = DefaultPoolLimit
+	}
+	return &Pool{limit: limit, buckets: map[uint64][]*internEntry{}}
+}
+
+// hashWords hashes a vector set's logical content (FNV-1a over nonzero words
+// mixed with their indices), independent of trailing zero words and physical
+// capacity, so physically different buffers with equal contents collide.
+func hashWords(words []uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i, w := range words {
+		if w == 0 {
+			continue
+		}
+		h = (h ^ uint64(i)) * prime64
+		h = (h ^ w) * prime64
+	}
+	return h
+}
+
+// sameContent reports whether the entry's canonical words equal the given
+// vector content (which may carry extra trailing zero words).
+func (e *internEntry) sameContent(words []uint64, count int) bool {
+	if e.count != count {
+		return false
+	}
+	long, short := e.words, words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	for i, w := range short {
+		if w != long[i] {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intern canonicalizes s in the pool and returns s. If an entry with equal
+// content exists, s drops its private storage and aliases the canonical
+// words; otherwise s's storage is adopted as the new canonical entry. Either
+// way s becomes shared: its next mutation will copy-on-write. Inline and nil
+// sets are returned unchanged.
+func (p *Pool) Intern(s *Set) *Set {
+	if s == nil || s.inline() {
+		return s
+	}
+	if e := s.shared; e != nil && e.pool == p && e.gen == p.gen {
+		p.selfHits++
+		return s
+	}
+	h := hashWords(s.words)
+	for _, e := range p.buckets[h] {
+		if e.sameContent(s.words, s.count) {
+			p.hits++
+			saved := int64(len(e.words)) * 8
+			if ep := e.elems.Load(); ep != nil {
+				saved += int64(len(*ep)) * 8
+			}
+			p.bytesShared.Add(saved)
+			s.words = e.words
+			s.shared = e
+			return s
+		}
+	}
+	p.misses++
+	e := &internEntry{pool: p, gen: p.gen, hash: h, words: s.words, count: s.count}
+	p.buckets[h] = append(p.buckets[h], e)
+	p.entries++
+	p.wordsB += int64(len(e.words)) * 8
+	s.shared = e
+	if p.entries > p.limit {
+		p.Flush()
+	}
+	return s
+}
+
+// Flush empties the pool, releasing every entry. Sets sharing a released
+// entry remain fully usable — reads and copy-on-write promotion only touch
+// the entry, never the pool — but they are no longer canonical: the next
+// Intern re-hashes them (adopting the same immutable storage, so no copy).
+func (p *Pool) Flush() {
+	if p.entries == 0 {
+		return
+	}
+	p.evictions += int64(p.entries)
+	p.flushes++
+	p.gen++
+	p.buckets = map[uint64][]*internEntry{}
+	p.entries = 0
+	p.wordsB = 0
+}
+
+// Len returns the number of live entries.
+func (p *Pool) Len() int { return p.entries }
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Hits:        p.hits,
+		SelfHits:    p.selfHits,
+		Misses:      p.misses,
+		Promotions:  p.promotions.Load(),
+		Evictions:   p.evictions,
+		Flushes:     p.flushes,
+		Entries:     p.entries,
+		WordBytes:   p.wordsB,
+		BytesShared: p.bytesShared.Load(),
+	}
+}
+
+// Interned reports whether s currently shares canonical pool storage (its
+// next mutation will copy-on-write).
+func (s *Set) Interned() bool { return s.shared != nil }
+
+// SharesStorageWith reports whether s and t alias the same canonical entry.
+// This is the pointer-comparison equality fast path: a true result proves
+// content equality without touching the words.
+func (s *Set) SharesStorageWith(t *Set) bool {
+	return t != nil && s.shared != nil && s.shared == t.shared
+}
+
+// unshare detaches s from its canonical entry, copying the shared words back
+// to private storage so a mutator may write. Mutators call it only once a
+// real change is certain, so every promotion the counters report paid for an
+// actual write.
+func (s *Set) unshare() {
+	e := s.shared
+	if e == nil {
+		return
+	}
+	nw := make([]uint64, len(s.words))
+	copy(nw, s.words)
+	s.words = nw
+	s.shared = nil
+	e.pool.promotions.Add(1)
+}

@@ -1,0 +1,298 @@
+package bitset
+
+import "testing"
+
+func setOf(xs ...int) *Set {
+	s := New(0)
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s
+}
+
+// vecOf builds a vector-mode set regardless of cardinality.
+func vecOf(xs ...int) *Set {
+	s := New(wordBits)
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s
+}
+
+func TestInternSharesEqualContent(t *testing.T) {
+	p := NewPool(0)
+	a := vecOf(1, 70, 200)
+	b := vecOf(1, 70, 200)
+	c := vecOf(1, 70, 201)
+	p.Intern(a)
+	p.Intern(b)
+	p.Intern(c)
+	if !a.Interned() || !b.Interned() || !c.Interned() {
+		t.Fatal("vector sets should intern")
+	}
+	if !a.SharesStorageWith(b) || !b.SharesStorageWith(a) {
+		t.Fatal("equal contents should share one canonical entry")
+	}
+	if a.SharesStorageWith(c) {
+		t.Fatal("distinct contents must not share")
+	}
+	if !a.Equal(b) || a.Equal(c) {
+		t.Fatal("Equal wrong on interned sets")
+	}
+	st := p.Stats()
+	if st.Misses != 2 || st.Hits != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 2 misses / 1 hit / 2 entries", st)
+	}
+	if st.BytesShared <= 0 {
+		t.Fatalf("BytesShared = %d, want > 0 after a hit", st.BytesShared)
+	}
+	// Re-interning an unchanged canonical set is a self-hit, not a rehash.
+	p.Intern(a)
+	if got := p.Stats().SelfHits; got != 1 {
+		t.Fatalf("SelfHits = %d, want 1", got)
+	}
+}
+
+func TestInternDifferentCapacitySameContent(t *testing.T) {
+	p := NewPool(0)
+	a := vecOf(3, 9)
+	b := New(10 * wordBits) // long buffer, trailing zero words
+	b.Add(3)
+	b.Add(9)
+	p.Intern(a)
+	p.Intern(b)
+	if !a.SharesStorageWith(b) {
+		t.Fatal("trailing zero words must not defeat content hashing")
+	}
+}
+
+func TestInternInlineSetsPassThrough(t *testing.T) {
+	p := NewPool(0)
+	s := setOf(1, 2, 3) // inline: below InlineThreshold
+	if p.Intern(s) != s || s.Interned() {
+		t.Fatal("inline sets must pass through Intern un-interned")
+	}
+	if got := p.Stats(); got.Misses+got.Hits+got.SelfHits != 0 {
+		t.Fatalf("inline intern should not touch counters: %+v", got)
+	}
+}
+
+// TestInlineToVectorToInterned walks one set through the full representation
+// ladder: inline → promoted bit-vector → interned/shared → copy-on-write
+// private again.
+func TestInlineToVectorToInterned(t *testing.T) {
+	p := NewPool(0)
+	s := setOf(1, 2, 3, 4)
+	p.Intern(s)
+	if s.Interned() {
+		t.Fatal("still inline; must not intern")
+	}
+	s.Add(5) // promotes inline → vector
+	if s.inline() {
+		t.Fatal("expected promotion to vector mode")
+	}
+	p.Intern(s)
+	if !s.Interned() {
+		t.Fatal("vector set should intern")
+	}
+	twin := vecOf(1, 2, 3, 4, 5)
+	p.Intern(twin)
+	if !twin.SharesStorageWith(s) {
+		t.Fatal("promoted set content should hash-cons with an equal vector")
+	}
+	s.Add(6) // copy-on-write: s goes private, twin keeps canonical storage
+	if s.Interned() {
+		t.Fatal("mutation must un-share")
+	}
+	if twin.Has(6) || !twin.Interned() {
+		t.Fatal("CoW leaked a write into the shared entry")
+	}
+	if got := p.Stats().Promotions; got != 1 {
+		t.Fatalf("Promotions = %d, want 1", got)
+	}
+}
+
+// TestInternCopyOnWrite checks every mutator un-shares before its first real
+// write and that no-op mutations stay free of promotions.
+func TestInternCopyOnWrite(t *testing.T) {
+	mutate := func(name string, f func(s *Set), wantPromote bool) {
+		t.Run(name, func(t *testing.T) {
+			p := NewPool(0)
+			a := vecOf(1, 70, 200)
+			b := vecOf(1, 70, 200)
+			p.Intern(a)
+			p.Intern(b)
+			want := b.Elements()
+			f(a)
+			got := b.Elements()
+			if len(got) != len(want) {
+				t.Fatalf("sharer changed: %v -> %v", want, got)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("sharer changed: %v -> %v", want, got)
+				}
+			}
+			if promoted := p.Stats().Promotions > 0; promoted != wantPromote {
+				t.Fatalf("promotions=%d, wantPromote=%v", p.Stats().Promotions, wantPromote)
+			}
+			if wantPromote && a.Interned() {
+				t.Fatal("mutated set still claims shared storage")
+			}
+		})
+	}
+	mutate("Add", func(s *Set) { s.Add(7) }, true)
+	mutate("AddPresent", func(s *Set) { s.Add(70) }, false)
+	mutate("Remove", func(s *Set) { s.Remove(70) }, true)
+	mutate("RemoveAbsent", func(s *Set) { s.Remove(71) }, false)
+	mutate("UnionWith", func(s *Set) { s.UnionWith(vecOf(5)) }, true)
+	mutate("UnionWithSubset", func(s *Set) { s.UnionWith(vecOf(1, 70)) }, false)
+	mutate("UnionDelta", func(s *Set) { s.UnionDelta(vecOf(5), nil) }, true)
+	mutate("UnionDeltaSubset", func(s *Set) { s.UnionDelta(vecOf(1, 70), nil) }, false)
+	mutate("DifferenceWith", func(s *Set) { s.DifferenceWith(vecOf(70)) }, true)
+	mutate("DifferenceWithDisjoint", func(s *Set) { s.DifferenceWith(vecOf(8, 9)) }, false)
+	mutate("IntersectWith", func(s *Set) { s.IntersectWith(vecOf(1, 70)) }, true)
+	mutate("IntersectWithSuperset", func(s *Set) { s.IntersectWith(vecOf(1, 70, 200, 300)) }, false)
+	mutate("Clear", func(s *Set) { s.Clear() }, true)
+}
+
+func TestInternSharedPairFastPaths(t *testing.T) {
+	p := NewPool(0)
+	a := vecOf(1, 70, 200)
+	b := vecOf(1, 70, 200)
+	p.Intern(a)
+	p.Intern(b)
+	if a.UnionWith(b) {
+		t.Fatal("union with own canonical content reported a change")
+	}
+	if n := a.UnionDelta(b, nil); n != 0 {
+		t.Fatalf("UnionDelta on shared pair = %d, want 0", n)
+	}
+	if !a.SubsetOf(b) || !a.Intersects(b) {
+		t.Fatal("SubsetOf/Intersects fast paths wrong")
+	}
+	if d := a.Difference(b); !d.Empty() {
+		t.Fatalf("Difference on shared pair = %v, want empty", d.Elements())
+	}
+	if a.Interned() != true || p.Stats().Promotions != 0 {
+		t.Fatal("read-only fast paths must not promote")
+	}
+	a.DifferenceWith(b) // removes everything: equivalent to Clear
+	if !a.Empty() || b.Empty() {
+		t.Fatal("DifferenceWith shared pair should empty only the receiver")
+	}
+}
+
+func TestInternElementsMemoized(t *testing.T) {
+	p := NewPool(0)
+	a := vecOf(1, 70, 200)
+	b := vecOf(1, 70, 200)
+	p.Intern(a)
+	p.Intern(b)
+	ea, eb := a.Elements(), b.Elements()
+	if len(ea) == 0 || &ea[0] != &eb[0] {
+		t.Fatal("sharers should return the same memoized element slice")
+	}
+	a.Add(7)
+	if got := a.Elements(); &got[0] == &ea[0] {
+		t.Fatal("private set after CoW must not reuse the canonical slice")
+	}
+	if got := b.Elements(); &got[0] != &eb[0] {
+		t.Fatal("sharer lost its memoized slice")
+	}
+}
+
+func TestInternCloneSharing(t *testing.T) {
+	p := NewPool(0)
+	a := vecOf(1, 70, 200)
+	p.Intern(a)
+	c := a.Clone()
+	if !c.SharesStorageWith(a) {
+		t.Fatal("clone of interned set should share storage")
+	}
+	c.Add(7)
+	if a.Has(7) || !a.Interned() {
+		t.Fatal("clone mutation leaked into original")
+	}
+	a.Remove(70)
+	if !c.Has(7) || !c.Has(70) || c.Len() != 4 {
+		t.Fatalf("original mutation leaked into clone: %v", c.Elements())
+	}
+}
+
+func TestInternEmptyVector(t *testing.T) {
+	p := NewPool(0)
+	a := New(wordBits)
+	b := vecOf(3)
+	b.Remove(3)
+	p.Intern(a)
+	p.Intern(b)
+	if !a.SharesStorageWith(b) {
+		t.Fatal("empty vectors should hash-cons together")
+	}
+	if a.Len() != 0 || a.Min() != -1 {
+		t.Fatal("shared empty set misbehaves")
+	}
+}
+
+// TestInternPoolEviction drives the pool past its entry limit and checks the
+// flush releases everything while weakly-held sharers stay fully usable.
+func TestInternPoolEviction(t *testing.T) {
+	p := NewPool(2)
+	a := vecOf(1, 100)
+	b := vecOf(2, 100)
+	c := vecOf(3, 100)
+	p.Intern(a)
+	p.Intern(b)
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", p.Len())
+	}
+	p.Intern(c) // third distinct content exceeds the limit: full flush
+	if p.Len() != 0 {
+		t.Fatalf("Len after eviction = %d, want 0", p.Len())
+	}
+	st := p.Stats()
+	if st.Flushes != 1 || st.Evictions != 3 || st.WordBytes != 0 {
+		t.Fatalf("stats after eviction = %+v", st)
+	}
+	// Weak release: evicted entries are no longer canonical but their
+	// sharers keep working — reads, equality fast paths, and CoW intact.
+	if !a.Interned() || !a.Has(100) || a.Len() != 2 {
+		t.Fatal("evicted sharer unusable")
+	}
+	a2 := a.Clone()
+	if !a2.SharesStorageWith(a) {
+		t.Fatal("evicted entry should still back the equality fast path")
+	}
+	a2.Add(7)
+	if a.Has(7) {
+		t.Fatal("CoW broken after eviction")
+	}
+	// Re-interning a stale sharer re-canonicalizes (a rehash, not a self-hit)
+	// by adopting the same immutable storage — no copy.
+	before := p.Stats().Misses
+	p.Intern(a)
+	st = p.Stats()
+	if st.Misses != before+1 || st.SelfHits != 0 || p.Len() != 1 {
+		t.Fatalf("stale re-intern stats = %+v", st)
+	}
+	fresh := vecOf(1, 100)
+	p.Intern(fresh)
+	if !fresh.SharesStorageWith(a) {
+		t.Fatal("re-canonicalized content should share again")
+	}
+}
+
+func TestInternExplicitFlushIdempotent(t *testing.T) {
+	p := NewPool(0)
+	p.Flush() // empty flush is a no-op
+	if st := p.Stats(); st.Flushes != 0 {
+		t.Fatalf("empty flush counted: %+v", st)
+	}
+	p.Intern(vecOf(1, 99))
+	p.Flush()
+	p.Flush()
+	if st := p.Stats(); st.Flushes != 1 || st.Evictions != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,119 @@
+package pointsto
+
+import (
+	"testing"
+
+	"repro/internal/invariant"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// TestInternFixpointSharing solves a scaled module in full-propagation mode
+// with interning on and asserts the machinery actually engaged: the pool saw
+// hits (equal set contents re-used canonical storage), the fixpoint holds
+// distinct nodes sharing one storage block, and copy-on-write promotions
+// fired without ever leaking a write (byte-identity is the differential
+// oracle's job; this test pins the sharing itself).
+func TestInternFixpointSharing(t *testing.T) {
+	m := workload.ScaledApps()[0].MustModule() // randprog-1k
+	a := New(m, invariant.All())
+	a.SetDelta(false)
+	a.SetPrep(false)
+	a.SetIntern(true)
+	a.Solve()
+
+	if a.pool == nil {
+		t.Fatal("SetIntern(true) did not create a pool")
+	}
+	st := a.pool.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("pool never engaged: %+v", st)
+	}
+	if st.BytesShared == 0 {
+		t.Fatalf("no shared bytes estimated: %+v", st)
+	}
+	interned, sharedPair := 0, false
+	for i := range a.pts {
+		s := a.pts[i]
+		if s == nil || !s.Interned() {
+			continue
+		}
+		interned++
+		for j := i + 1; j < len(a.pts) && !sharedPair; j++ {
+			if a.pts[j] != nil && s.SharesStorageWith(a.pts[j]) {
+				sharedPair = true
+			}
+		}
+	}
+	if interned == 0 {
+		t.Fatal("no fixpoint set is interned after the post-solve sweep")
+	}
+	if !sharedPair {
+		t.Fatal("no two nodes share canonical storage at the fixpoint")
+	}
+}
+
+// TestInternOffByDefault pins the knob's default: without SetIntern (or the
+// package default), solves must not pay for a pool.
+func TestInternOffByDefault(t *testing.T) {
+	m := workload.Apps()[0].MustModule()
+	a := New(m, invariant.All())
+	a.Solve()
+	if a.pool != nil || a.intern {
+		t.Fatal("interning should be off by default")
+	}
+	prev := SetDefaultIntern(true)
+	defer SetDefaultIntern(prev)
+	b := New(m, invariant.All())
+	b.Solve()
+	if b.pool == nil || !b.intern {
+		t.Fatal("SetDefaultIntern(true) should make new analyses intern")
+	}
+}
+
+// TestInternTelemetry asserts the intern instrumentation flows into an
+// attached registry: hit/miss/promotion counters, the pool-size gauge, and
+// the shared-bytes-saved estimate.
+func TestInternTelemetry(t *testing.T) {
+	m := workload.ScaledApps()[0].MustModule()
+	reg := telemetry.New()
+	a := New(m, invariant.All())
+	a.SetDelta(false)
+	a.SetPrep(false)
+	a.SetIntern(true)
+	a.SetMetrics(reg)
+	r := a.Solve()
+
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"pointsto/intern/hits",
+		"pointsto/intern/misses",
+		"pointsto/intern/bytes-shared",
+	} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %s = 0, want > 0 (counters: %v)", name, snap.Counters)
+		}
+	}
+	if _, ok := snap.Counters["pointsto/intern/promotions"]; !ok {
+		t.Error("promotions counter not exported")
+	}
+	if snap.Gauges["pointsto/intern/pool-entries"] == 0 {
+		t.Error("pool-entries gauge not exported")
+	}
+	if snap.Gauges["pointsto/intern/pool-bytes"] == 0 {
+		t.Error("pool-bytes gauge not exported")
+	}
+	// A second flush (incremental re-solve) must export deltas, not repeat
+	// cumulative totals: hits can only grow.
+	before := snap.Counters["pointsto/intern/hits"]
+	recs := r.Invariants()
+	if len(recs) > 0 {
+		if err := r.Restore(recs[0]); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		after := reg.Snapshot().Counters["pointsto/intern/hits"]
+		if after < before {
+			t.Errorf("hits counter shrank across flushes: %d -> %d", before, after)
+		}
+	}
+}

@@ -26,6 +26,11 @@ type submission struct {
 	// execution hint: the result is byte-identical to a sequential solve,
 	// so it shares the analysis cache either way.
 	Parallel bool `json:"parallel,omitempty"`
+	// Intern opts this request's solve into hash-consed set interning
+	// (copy-on-write shared points-to sets). A pure memory/allocation
+	// hint: the result is byte-identical either way, so it shares the
+	// analysis cache with non-interned requests.
+	Intern bool `json:"intern,omitempty"`
 }
 
 // analyzeResponse summarizes one analysis.

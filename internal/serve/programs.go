@@ -154,12 +154,20 @@ func (s *Server) system(ctx context.Context, req submission) (*analysis, *apiErr
 		s.metrics.Counter("serve/solve/parallel").Inc()
 		tr.Annotate("parallel_workers", strconv.Itoa(workers))
 	}
+	// So does set interning: byte-identical fixpoints, so the knob is
+	// invisible to the cache key and only changes how much the solve
+	// allocates.
+	intern := s.cfg.Intern || req.Intern
+	if intern && !cached {
+		s.metrics.Counter("serve/solve/intern").Inc()
+		tr.Annotate("intern", "on")
+	}
 	// serve/solve wraps the whole cache resolution: a flight leader's trace
 	// nests core/analyze and the solver phases under it, a coalesced waiter
 	// nests runner/cache/wait, and a content-cache hit closes it near
 	// instantly — three shapes that tell three different latency stories.
 	solveCtx, _, finishSolve := telemetry.StartSpanCtx(ctx, s.metrics, "serve/solve")
-	sys, err := s.cache.SystemCtxOpts(solveCtx, app, cfg, runner.ComputeOpts{Parallel: workers})
+	sys, err := s.cache.SystemCtxOpts(solveCtx, app, cfg, runner.ComputeOpts{Parallel: workers, Intern: intern})
 	finishSolve()
 	if err != nil {
 		if errors.Is(err, pointsto.ErrSolveAborted) {

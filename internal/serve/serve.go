@@ -94,6 +94,15 @@ type Config struct {
 	// parallel and sequential requests.
 	Parallel int
 
+	// Intern hash-conses points-to sets during every admitted solve
+	// (pointsto.SetIntern): equal sets share one canonical storage block
+	// with copy-on-write promotion, cutting resident memory for large
+	// programs. Like Parallel it is a pure execution hint — results are
+	// byte-identical — so cached entries are shared freely with
+	// non-interned requests; a request can also opt in per submission with
+	// the "intern" field.
+	Intern bool
+
 	// Faults optionally arms fault injection on the analysis pipeline
 	// (CachePoison, SolverBudget), for chaos-testing the daemon.
 	Faults *faultinject.Plan
