@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-parallel race-intern vet bench bench-json bench-smoke fuzz-smoke chaos-smoke serve-smoke check
+.PHONY: all build test race race-parallel race-intern vet bench bench-json bench-smoke fuzz-smoke chaos-smoke serve-smoke persist-smoke check
 
 all: check
 
@@ -16,9 +16,10 @@ test:
 	$(GO) test ./...
 
 ## race: race-detect the concurrent packages (worker pool, telemetry,
-## switcher/monitor runtime, interpreter, solver, chaos harness, service)
+## switcher/monitor runtime, interpreter, solver, chaos harness, service,
+## persistent store, daemon drain sequence)
 race:
-	$(GO) test -race ./internal/runner ./internal/telemetry ./internal/memview ./internal/interp ./internal/pointsto ./internal/chaos ./internal/serve
+	$(GO) test -race ./internal/runner ./internal/telemetry ./internal/memview ./internal/interp ./internal/pointsto ./internal/chaos ./internal/serve ./internal/persist ./cmd/kscope-serve
 
 ## race-parallel: the parallel wave solver's byte-identity harness under the
 ## race detector — the full differential strategy cube (worklist / wave /
@@ -86,12 +87,26 @@ chaos-smoke:
 serve-smoke:
 	$(GO) run ./cmd/kscope-serve -smoke
 
+## persist-smoke: the crash-safety gate under -race — kill+restart with a
+## persistent store (warm-served answers byte-identical, cached=true),
+## corruption quarantined with its counter bumped and the result
+## transparently re-solved, the chaos restart leg across all three persist
+## fault sites, and the daemon's graceful-drain sequence; then the CLI
+## restart leg over a seeded plan
+persist-smoke:
+	$(GO) test -race -run '^(TestRestartWarmCache|TestCorruptRecordQuarantined|TestRecordKeyMismatch|TestEvictionDeletesDiskRecords|TestWarmLoadBounded|TestWriteFailDirty|TestDrainRefuses)' -v ./internal/serve
+	$(GO) test -race -run '^TestRestartLeg' -v ./internal/chaos
+	$(GO) test -race -run '^(TestGracefulDrain|TestCacheDirOpenFailure)' -v ./cmd/kscope-serve
+	$(GO) run ./cmd/kscope-bench -chaos 1 -chaos-plans 1 -chaos-restart
+
 ## fuzz-smoke: ~10s native-fuzz sanity pass over the model-based bitset
-## fuzzer and the solver-equivalence fuzzer
+## fuzzer, the solver-equivalence fuzzer, and the persistent-store
+## round-trip fuzzer
 fuzz-smoke:
 	$(GO) test ./internal/bitset -run '^$$' -fuzz '^FuzzBitsetModel$$' -fuzztime 5s
 	$(GO) test ./internal/bitset -run '^$$' -fuzz '^FuzzInternModel$$' -fuzztime 5s
 	$(GO) test ./internal/pointsto -run '^$$' -fuzz '^FuzzSolverEquivalence$$' -fuzztime 5s
+	$(GO) test ./internal/persist -run '^$$' -fuzz '^FuzzPersistRoundTrip$$' -fuzztime 5s
 
 ## check: everything a PR must pass
 check: build vet test race race-intern fuzz-smoke

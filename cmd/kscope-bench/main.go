@@ -46,6 +46,14 @@
 //	                   app lands on an unsound outcome (0 = off)
 //	-chaos-plans N     number of consecutive seeded fault plans for -chaos
 //	                   (default 8)
+//	-chaos-restart     with -chaos, also run each plan through the restart
+//	                   leg: serve the apps through an in-process daemon with
+//	                   a persistent result store and the faults armed
+//	                   (including the persist/* disk faults), crash it
+//	                   without flushing, restart fault-free on the same
+//	                   store, and require byte-identical answers or a typed
+//	                   error across the generation boundary
+//	-fault-list        print every fault-injection site and exit
 //	-cpuprofile F      write a runtime/pprof CPU profile to F
 //	-memprofile F      write a runtime/pprof heap profile to F
 //
@@ -66,6 +74,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/pointsto"
 	"repro/internal/telemetry"
 )
@@ -111,6 +120,8 @@ func run() int {
 	watchdog := flag.Duration("watchdog", 0, "stall-report window for the solver progress watchdog (0 = off)")
 	chaosSeed := flag.Int64("chaos", 0, "run the chaos differential harness with this base seed (0 = off)")
 	chaosPlans := flag.Int("chaos-plans", 8, "number of seeded fault plans for -chaos")
+	chaosRestart := flag.Bool("chaos-restart", false, "with -chaos, also run each plan's crash/restart leg against a persistent store")
+	faultList := flag.Bool("fault-list", false, "print every fault-injection site and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	var exts, watch stringList
@@ -119,6 +130,13 @@ func run() int {
 	flag.Var(&exts, "ext", "extension experiment: debloat, graded (repeatable)")
 	flag.Var(&watch, "watch", "instrument name to regression-check (repeatable)")
 	flag.Parse()
+
+	if *faultList {
+		for _, s := range faultinject.Sites() {
+			fmt.Println(s)
+		}
+		return 0
+	}
 
 	// The parallel wave solver is a pure execution hint — every artifact is
 	// byte-identical to a sequential run — so it is a process-wide default
@@ -179,7 +197,7 @@ func run() int {
 		defer wd.Stop()
 	}
 	if *chaosSeed != 0 {
-		code := runChaos(*chaosSeed, *chaosPlans, opt, *parallel, reg)
+		code := runChaos(*chaosSeed, *chaosPlans, *chaosRestart, opt, *parallel, reg)
 		if reg != nil {
 			snap := reg.Snapshot()
 			if *metrics {
@@ -247,7 +265,7 @@ func run() int {
 // consecutive seeds, printing one report per plan. The exit code is 1 when
 // any app under any plan violates the robustness contract (an Unsound
 // classification), mirroring the chaos-smoke CI gate.
-func runChaos(seed int64, plans int, opt experiments.Options, parallel int, reg *telemetry.Registry) int {
+func runChaos(seed int64, plans int, restart bool, opt experiments.Options, parallel int, reg *telemetry.Registry) int {
 	reports, err := chaos.RunMatrix(seed, plans, chaos.Options{
 		Requests: opt.Requests,
 		Runs:     opt.Runs,
@@ -264,6 +282,24 @@ func runChaos(seed int64, plans int, opt experiments.Options, parallel int, reg 
 		failures += len(rep.Failures())
 	}
 	fmt.Printf("chaos: %d plan(s), %d unsound outcome(s)\n", len(reports), failures)
+	if restart {
+		for i := 0; i < plans; i++ {
+			dir, err := os.MkdirTemp("", "kscope-chaos-restart-")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kscope-bench: chaos restart: %v\n", err)
+				return 1
+			}
+			rep, err := chaos.RunRestart(seed+int64(i), dir, chaos.Options{Metrics: reg})
+			os.RemoveAll(dir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kscope-bench: chaos restart: %v\n", err)
+				return 1
+			}
+			fmt.Print(rep.Text())
+			failures += len(rep.Failures())
+		}
+		fmt.Printf("chaos restart: %d plan(s), %d unsound outcome(s) total\n", plans, failures)
+	}
 	if failures > 0 {
 		return 1
 	}

@@ -26,6 +26,15 @@
 //	-solve-steps N        per-stage solver step budget, 0 = unlimited
 //	-solve-timeout D      per-request solve wall-clock budget, 0 = unlimited
 //	-max-programs N       distinct cached programs before FIFO eviction
+//	-cache-dir DIR        back the analysis cache with the crash-safe
+//	                      persistent store in DIR: solved results are spilled
+//	                      to disk and warm-loaded on restart (/readyz turns
+//	                      200 when the warm-load finishes); corrupt records
+//	                      are quarantined under DIR/quarantine and re-solved
+//	-drain-grace D        after SIGTERM, keep the listener open for D while
+//	                      refusing new POST work with a typed 503 (so load
+//	                      balancers observe /readyz turn 503 before the
+//	                      socket closes); default 0
 //	-retry-after D        Retry-After hint on 503 responses (default 1s)
 //	-parallel-solve N     solve every analysis with the parallel wave solver
 //	                      at N workers (0 = sequential unless a request sets
@@ -36,6 +45,7 @@
 //	                      request can also opt in with "intern": true)
 //	-fault-seed N         arm the seeded fault-injection plan N (0 = off),
 //	                      for chaos-testing the daemon
+//	-fault-list           print every fault-injection site and exit
 //	-access-log DEST      JSON-lines access log: "off" (default), "stderr",
 //	                      "stdout", or a file path (appended)
 //	-trace-recent N       request traces kept in the /tracez recent ring
@@ -83,10 +93,13 @@ func main() {
 		solveSteps   = flag.Int64("solve-steps", 0, "per-stage solver step budget (0 = unlimited)")
 		solveTimeout = flag.Duration("solve-timeout", 0, "per-request solve wall clock (0 = unlimited)")
 		maxPrograms  = flag.Int("max-programs", 128, "distinct cached programs before eviction")
+		cacheDir     = flag.String("cache-dir", "", "persistent result store directory (empty = memory only)")
+		drainGrace   = flag.Duration("drain-grace", 0, "listener grace period between SIGTERM and socket close")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 503s")
 		parallel     = flag.Int("parallel-solve", 0, "parallel wave solver workers per analysis (0 = sequential)")
 		intern       = flag.Bool("intern", false, "hash-cons points-to sets during every solve (pure memory optimization)")
 		faultSeed    = flag.Int64("fault-seed", 0, "arm seeded fault injection (0 = off)")
+		faultList    = flag.Bool("fault-list", false, "print every fault-injection site and exit")
 		accessLog    = flag.String("access-log", "off", "JSON-lines access log: off, stderr, stdout, or a file path")
 		traceRecent  = flag.Int("trace-recent", 0, "request traces kept in the /tracez recent ring (0 = default 64)")
 		traceSlowest = flag.Int("trace-slowest", 0, "slowest evicted traces kept anyway (0 = default 8)")
@@ -104,6 +117,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if *faultList {
+		fmt.Print(faultSiteList())
+		os.Exit(0)
+	}
+
 	cfg := serve.Config{
 		MaxBodyBytes:   *maxBody,
 		MaxInflight:    *maxInflight,
@@ -111,6 +129,7 @@ func main() {
 		SolveSteps:     *solveSteps,
 		SolveTimeout:   *solveTimeout,
 		MaxPrograms:    *maxPrograms,
+		CacheDir:       *cacheDir,
 		RetryAfter:     *retryAfter,
 		Parallel:       *parallel,
 		Intern:         *intern,
@@ -146,20 +165,62 @@ func main() {
 		os.Exit(runLoadgen(*target, *concurrency, *duration,
 			serve.SLO{MaxP50: *sloP50, MaxP99: *sloP99, MaxErrorRate: *sloErrors}))
 	default:
-		os.Exit(runDaemon(*addr, cfg))
+		os.Exit(runDaemon(*addr, cfg, *drainGrace))
 	}
 }
 
-// runDaemon serves until SIGINT/SIGTERM, then drains in-flight requests.
-func runDaemon(addr string, cfg serve.Config) int {
-	srv := serve.New(cfg)
-	hs := &http.Server{Addr: addr, Handler: srv}
+// faultSiteList renders every fault-injection site, one per line, for
+// -fault-list (shared verbatim with kscope-bench).
+func faultSiteList() string {
+	var b strings.Builder
+	for _, s := range faultinject.Sites() {
+		fmt.Fprintln(&b, s)
+	}
+	return b.String()
+}
+
+// runDaemon serves until SIGINT/SIGTERM, then runs the drain sequence.
+func runDaemon(addr string, cfg serve.Config, grace time.Duration) int {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kscope-serve:", err)
+		return 1
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	return serveUntil(ctx, ln, cfg, grace)
+}
+
+// serveUntil runs the daemon on ln until ctx is cancelled, then executes the
+// drain sequence: BeginDrain turns /readyz 503 and refuses new POST work
+// with a typed error while the listener stays open for the grace period (so
+// load balancers observe the readiness flip before the socket closes), then
+// http.Server.Shutdown waits for in-flight requests, and finally FlushDirty
+// retries any result whose disk save failed during the daemon's life.
+// Factored out of runDaemon so the graceful-drain regression test can drive
+// it with a plain cancellable context instead of a signal.
+func serveUntil(ctx context.Context, ln net.Listener, cfg serve.Config, grace time.Duration) int {
+	srv := serve.New(cfg)
+	if err := srv.PersistError(); err != nil {
+		// A daemon asked to be crash-safe must not silently run memory-only.
+		fmt.Fprintln(os.Stderr, "kscope-serve: -cache-dir:", err)
+		ln.Close()
+		return 1
+	}
+	hs := &http.Server{Handler: srv}
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
+	go func() { errc <- hs.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "kscope-serve: listening on http://%s (%d solve slots, budget %d steps/stage)\n",
-		addr, capacityOf(cfg), cfg.SolveSteps)
+		ln.Addr(), capacityOf(cfg), cfg.SolveSteps)
+	if cfg.CacheDir != "" {
+		go func() {
+			if srv.WaitWarm(context.Background()) == nil {
+				fmt.Fprintf(os.Stderr, "kscope-serve: warm-load complete (%d records loaded, %d quarantined); ready\n",
+					srv.Metrics().Counter("persist/warm-loaded").Value(),
+					srv.Metrics().Counter("persist/corrupt-quarantined").Value())
+			}
+		}()
+	}
 	select {
 	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "kscope-serve:", err)
@@ -167,11 +228,21 @@ func runDaemon(addr string, cfg serve.Config) int {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "kscope-serve: shutting down (draining in-flight requests)")
+	srv.BeginDrain()
+	if grace > 0 {
+		time.Sleep(grace)
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "kscope-serve: shutdown:", err)
 		return 1
+	}
+	if flushed, failed := srv.FlushDirty(); flushed+failed > 0 {
+		fmt.Fprintf(os.Stderr, "kscope-serve: flushed %d dirty cache record(s), %d failed\n", flushed, failed)
+		if failed > 0 {
+			return 1
+		}
 	}
 	return 0
 }

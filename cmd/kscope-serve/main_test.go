@@ -1,0 +1,203 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+func TestFaultSiteList(t *testing.T) {
+	out := faultSiteList()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if want := len(faultinject.Sites()); len(lines) != want {
+		t.Fatalf("faultSiteList printed %d lines, want %d:\n%s", len(lines), want, out)
+	}
+	for _, site := range faultinject.Sites() {
+		if !strings.Contains(out, string(site)) {
+			t.Errorf("faultSiteList missing site %s", site)
+		}
+	}
+}
+
+// TestGracefulDrain is the shutdown-sequence regression test: an /analyze
+// request in flight when the stop signal arrives must complete with 200,
+// new POST work during the drain grace period must be refused with the
+// typed "draining" 503 while the GET endpoints keep serving, and the
+// process must exit 0 with every solved result persisted.
+func TestGracefulDrain(t *testing.T) {
+	dir := t.TempDir()
+	cfg := serve.Config{Metrics: telemetry.New(), CacheDir: dir, DisableTracing: true}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	exit := make(chan int, 1)
+	go func() { exit <- serveUntil(ctx, ln, cfg, 2*time.Second) }()
+	base := "http://" + ln.Addr().String()
+
+	// Readiness: the (empty-store) warm-load finishes almost immediately.
+	waitStatus(t, base+"/readyz", http.StatusOK)
+
+	// A completed solve before the signal: its record must reach the disk.
+	srcA := `{"source":"int ga;\nint* picka() { return &ga; }\nint main() { int* p; p = picka(); return *p; }"}`
+	status, body := post(t, base+"/analyze", srcA)
+	if status != http.StatusOK {
+		t.Fatalf("/analyze before drain: %d %s", status, body)
+	}
+
+	// The in-flight request: send the headers and the first body byte, then
+	// hold the rest so the handler sits blocked on the body read. The
+	// request counter increments at handler entry — synchronously before
+	// the draining gate is evaluated — so once it reads 2 this request has
+	// been admitted.
+	srcB := `{"source":"int gb;\nint* pickb() { return &gb; }\nint main() { int* q; q = pickb(); return *q; }"}`
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, base+"/analyze", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ContentLength = int64(len(srcB))
+	req.Header.Set("Content-Type", "application/json")
+	type result struct {
+		status int
+		body   string
+		err    error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		inflight <- result{status: resp.StatusCode, body: string(data)}
+	}()
+	if _, err := pw.Write([]byte(srcB[:1])); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, base, "serve/requests/analyze", 2)
+
+	// The stop signal: drain begins, the listener stays open for the grace
+	// period, readiness flips to draining.
+	cancel()
+	waitStatus(t, base+"/readyz", http.StatusServiceUnavailable)
+
+	// New POST work is refused with the typed draining error...
+	status, body = post(t, base+"/analyze", srcA)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("/analyze during drain: %d %s, want 503", status, body)
+	}
+	var apiErr struct{ Kind string }
+	if err := json.Unmarshal([]byte(body), &apiErr); err != nil || apiErr.Kind != "draining" {
+		t.Fatalf("/analyze during drain: kind=%q err=%v body=%s", apiErr.Kind, err, body)
+	}
+	// ...while liveness keeps answering.
+	waitStatus(t, base+"/healthz", http.StatusOK)
+
+	// Releasing the held body lets the in-flight request run to completion
+	// even though the daemon is draining.
+	if _, err := pw.Write([]byte(srcB[1:])); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	r := <-inflight
+	if r.err != nil || r.status != http.StatusOK {
+		t.Fatalf("in-flight /analyze: status=%d err=%v body=%s", r.status, r.err, r.body)
+	}
+
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("serveUntil exited %d, want 0", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serveUntil did not exit after drain")
+	}
+
+	// Both solves — including the one that finished mid-drain — persisted.
+	recs, err := filepath.Glob(filepath.Join(dir, "*.rec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 2 {
+		t.Fatalf("store holds %d records after drain, want 2 (%v)", len(recs), recs)
+	}
+}
+
+// TestCacheDirOpenFailure: a daemon asked to be crash-safe refuses to start
+// when the store cannot be opened, rather than silently running memory-only.
+func TestCacheDirOpenFailure(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := serve.Config{Metrics: telemetry.New(), CacheDir: file, DisableTracing: true}
+	if code := serveUntil(context.Background(), ln, cfg, 0); code != 1 {
+		t.Fatalf("serveUntil with unusable -cache-dir exited %d, want 1", code)
+	}
+}
+
+func post(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(data)
+}
+
+// waitStatus polls url until it answers with the wanted status code.
+func waitStatus(t *testing.T, url string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == want {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("GET %s never reached status %d (last: %v, err=%v)", url, want, resp, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitCounter polls /metricsz until the named counter reaches want.
+func waitCounter(t *testing.T, base, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap, err := telemetry.LoadSnapshot(base + "/metricsz")
+		if err == nil && snap.Counters[name] >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counter %s never reached %d (last snapshot err=%v)", name, want, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

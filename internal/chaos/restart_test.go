@@ -1,0 +1,139 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/telemetry"
+)
+
+// testRestartOptions keeps the restart leg fast: one generation pair per
+// plan, sequential solves.
+func testRestartOptions() Options {
+	return Options{Metrics: telemetry.New()}
+}
+
+func countOutcomes(rep *RestartReport) map[Outcome]int {
+	got := map[Outcome]int{}
+	for _, a := range rep.Results {
+		got[a.Outcome]++
+	}
+	return got
+}
+
+func hasFired(rep *RestartReport, site faultinject.Site) bool {
+	for _, s := range rep.Fired {
+		if s == site {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRestartLegFaultFree pins the happy path: with no faults armed every
+// app must be warm-served byte-identically by the restarted generation.
+func TestRestartLegFaultFree(t *testing.T) {
+	rep, err := RunRestartPlan(faultinject.Explicit(), t.TempDir(), testRestartOptions())
+	if err != nil {
+		t.Fatalf("RunRestartPlan: %v", err)
+	}
+	if fails := rep.Failures(); len(fails) > 0 {
+		t.Fatalf("unsound results:\n%s", rep.Text())
+	}
+	for _, a := range rep.Results {
+		if a.Outcome != Identical {
+			t.Errorf("%s: outcome %v, want Identical\n%s", a.App, a.Outcome, rep.Text())
+		}
+	}
+	if rep.WarmLoaded == 0 {
+		t.Errorf("generation B warm-loaded no records\n%s", rep.Text())
+	}
+	if rep.Quarantined != 0 {
+		t.Errorf("fault-free run quarantined %d records\n%s", rep.Quarantined, rep.Text())
+	}
+}
+
+// TestRestartLegPersistWriteFail: the failed save leaves one entry
+// memory-only in generation A; the crash loses it, and generation B must
+// transparently re-solve to byte-identical answers (Fallback), with every
+// successfully persisted app still warm-served (Identical).
+func TestRestartLegPersistWriteFail(t *testing.T) {
+	rep, err := RunRestartPlan(faultinject.Explicit(faultinject.PersistWriteFail), t.TempDir(), testRestartOptions())
+	if err != nil {
+		t.Fatalf("RunRestartPlan: %v", err)
+	}
+	if fails := rep.Failures(); len(fails) > 0 {
+		t.Fatalf("unsound results:\n%s", rep.Text())
+	}
+	if !hasFired(rep, faultinject.PersistWriteFail) {
+		t.Fatalf("write-fail fault never fired\n%s", rep.Text())
+	}
+	got := countOutcomes(rep)
+	if got[Fallback] < 1 {
+		t.Errorf("want at least one Fallback (the unsaved record re-solved), got %v\n%s", got, rep.Text())
+	}
+	if got[Identical] < 1 {
+		t.Errorf("want at least one Identical (saves after the fault succeed), got %v\n%s", got, rep.Text())
+	}
+	if rep.Quarantined != 0 {
+		t.Errorf("write-fail leaves nothing on disk to quarantine, got %d\n%s", rep.Quarantined, rep.Text())
+	}
+}
+
+// TestRestartLegPersistTornWrite: the truncated frame fails its checksum at
+// warm-load, so generation B must quarantine it and re-solve (Fallback).
+func TestRestartLegPersistTornWrite(t *testing.T) {
+	testRestartCorruption(t, faultinject.PersistTornWrite)
+}
+
+// TestRestartLegPersistBitFlip: at-rest corruption after a successful save;
+// same contract as a torn write — quarantine, counter, fresh solve.
+func TestRestartLegPersistBitFlip(t *testing.T) {
+	testRestartCorruption(t, faultinject.PersistBitFlip)
+}
+
+func testRestartCorruption(t *testing.T, site faultinject.Site) {
+	t.Helper()
+	o := testRestartOptions()
+	rep, err := RunRestartPlan(faultinject.Explicit(site), t.TempDir(), o)
+	if err != nil {
+		t.Fatalf("RunRestartPlan: %v", err)
+	}
+	if fails := rep.Failures(); len(fails) > 0 {
+		t.Fatalf("unsound results:\n%s", rep.Text())
+	}
+	if !hasFired(rep, site) {
+		t.Fatalf("%s fault never fired\n%s", site, rep.Text())
+	}
+	if rep.Quarantined < 1 {
+		t.Errorf("corrupted record was not quarantined at warm-load\n%s", rep.Text())
+	}
+	got := countOutcomes(rep)
+	if got[Fallback] < 1 {
+		t.Errorf("want at least one Fallback (the quarantined record re-solved), got %v\n%s", got, rep.Text())
+	}
+	if got[Identical] < 1 {
+		t.Errorf("want at least one Identical (undamaged records warm-serve), got %v\n%s", got, rep.Text())
+	}
+	if n := o.Metrics.Counter("chaos/restart/outcome/fallback").Value(); n != int64(got[Fallback]) {
+		t.Errorf("outcome counter fallback = %d, want %d", n, got[Fallback])
+	}
+}
+
+// TestRestartLegSeeded runs a seeded plan end to end: whatever mix of
+// solver, monitor, cache, and disk faults the seed arms, the restarted
+// daemon must stay inside the Identical/Fallback/TypedError taxonomy.
+func TestRestartLegSeeded(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rep, err := RunRestart(seed, t.TempDir(), testRestartOptions())
+		if err != nil {
+			t.Fatalf("seed %d: RunRestart: %v", seed, err)
+		}
+		if fails := rep.Failures(); len(fails) > 0 {
+			t.Errorf("seed %d: unsound results:\n%s", seed, rep.Text())
+		}
+		if rep.Seed != seed {
+			t.Errorf("seed %d: report seed = %d", seed, rep.Seed)
+		}
+	}
+}

@@ -18,7 +18,14 @@
 //     record before runtime construction, exercising record validation
 //     (typed memview.CorruptRecordError);
 //   - runner cache: CachePoison fails a cache computation, exercising
-//     single-flight error invalidation.
+//     single-flight error invalidation;
+//   - persist: PersistWriteFail fails a result-store save before any byte is
+//     written (the entry stays memory-only and dirty), PersistTornWrite
+//     truncates a record mid-frame as if the process crashed with the rename
+//     reordered before the data reached disk, and PersistBitFlip corrupts one
+//     stored byte after a successful save — the latter two are discovered at
+//     the next load, which must quarantine the record (typed
+//     persist.CorruptEntryError) and fall back to a fresh solve.
 //
 // Every fire is counted into the attached telemetry registry under
 // "fault/fired/<site>", so a chaos run's telemetry shows exactly which
@@ -54,12 +61,22 @@ const (
 	// CachePoison fails an analysis computation inside the single-flight
 	// cache.
 	CachePoison Site = "runner/cache-poison"
+	// PersistWriteFail fails a persistent result-store save before anything
+	// is written (as if the disk returned EIO).
+	PersistWriteFail Site = "persist/write-fail"
+	// PersistTornWrite truncates a persisted record mid-frame, simulating a
+	// crash where the rename landed before the data did.
+	PersistTornWrite Site = "persist/torn-write"
+	// PersistBitFlip flips one byte of a record after a successful save,
+	// simulating at-rest media corruption.
+	PersistBitFlip Site = "persist/bit-flip"
 )
 
 // Sites returns every injection site in deterministic order (the order plan
 // derivation consumes seed randomness in).
 func Sites() []Site {
-	return []Site{SolverBudget, WorkerPanic, SpuriousViolation, CorruptRecord, CachePoison}
+	return []Site{SolverBudget, WorkerPanic, SpuriousViolation, CorruptRecord, CachePoison,
+		PersistWriteFail, PersistTornWrite, PersistBitFlip}
 }
 
 // hitWindow bounds the 1-based hit number an armed site may fire at, chosen
@@ -72,6 +89,9 @@ var hitWindow = map[Site]int64{
 	SpuriousViolation: 40,
 	CorruptRecord:     4,
 	CachePoison:       10,
+	PersistWriteFail:  4,
+	PersistTornWrite:  4,
+	PersistBitFlip:    4,
 }
 
 // Injected is the typed error surfaced when an injected fault is reported

@@ -130,3 +130,20 @@ func TestHitWindowsCoverAllSites(t *testing.T) {
 		}
 	}
 }
+
+// TestSiteInventory pins the registered site list: eight sites, including
+// the three persistence faults, in deterministic order. Chaos plans and the
+// -fault-list flags of kscope-serve/kscope-bench enumerate exactly this.
+func TestSiteInventory(t *testing.T) {
+	want := []Site{SolverBudget, WorkerPanic, SpuriousViolation, CorruptRecord,
+		CachePoison, PersistWriteFail, PersistTornWrite, PersistBitFlip}
+	got := Sites()
+	if len(got) != len(want) {
+		t.Fatalf("Sites() = %v, want %d sites", got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Sites()[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}

@@ -121,6 +121,45 @@ func (c *Cache) Forget(app string) int {
 	return n
 }
 
+// Compact drops every memoized entry of the named application except those
+// whose configuration name is listed in keep, and reports how many entries
+// were removed. Snapshot-serving frontends (internal/serve) call this after
+// projecting a solved System into its wire snapshot: from then on every
+// answer comes from the snapshot and the live System is scaffolding — while
+// the Baseline entry keeps earning its residency as the shared fallback of
+// every further configuration of the program. Keeping Baseline and dropping
+// the rest bounds resident solver state on a long-lived daemon without
+// giving up cross-config sharing. Like Forget, in-flight computations are
+// unaffected: current waiters hold the entry pointer and still receive the
+// leader's outcome; the flight merely stops being findable, so a request
+// racing the compaction may recompute (byte-identical by construction)
+// instead of coalescing. Removals count into "runner/cache/compactions".
+func (c *Cache) Compact(app string, keep ...string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key := range c.entries {
+		if key.app != app {
+			continue
+		}
+		kept := false
+		for _, k := range keep {
+			if key.cfg == k {
+				kept = true
+				break
+			}
+		}
+		if !kept {
+			delete(c.entries, key)
+			n++
+		}
+	}
+	if n > 0 {
+		c.metrics.Counter("runner/cache/compactions").Add(int64(n))
+	}
+	return n
+}
+
 // System returns the memoized analysis of app under cfg, computing it on
 // first request. It panics on computation failure; error-aware callers
 // (chaos harness, cancellable drivers) use SystemCtx.

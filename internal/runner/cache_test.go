@@ -183,6 +183,42 @@ func TestCacheForget(t *testing.T) {
 	}
 }
 
+// TestCacheCompact covers the snapshot-frontend memory bound: compaction
+// drops an app's solved configurations but keeps the Baseline entry, so a
+// later request for a full configuration re-solves only the optimistic
+// stage and shares the retained fallback.
+func TestCacheCompact(t *testing.T) {
+	metrics := telemetry.New()
+	c := NewCache(metrics)
+	a := workload.Apps()[0]
+	ctx := context.Background()
+	if _, err := c.SystemCtx(ctx, a, invariant.All()); err != nil { // caches Baseline + Kaleidoscope
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+	if n := c.Compact(a.Name, invariant.Config{}.Name()); n != 1 {
+		t.Fatalf("Compact removed %d entries, want 1 (Baseline kept)", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries after Compact, want 1", c.Len())
+	}
+	if got := metrics.Snapshot().Counters["runner/cache/compactions"]; got != 1 {
+		t.Fatalf("compactions counter = %d, want 1", got)
+	}
+	analyses := metrics.Snapshot().Counters["core/analyses"]
+	if _, err := c.SystemCtx(ctx, a, invariant.All()); err != nil {
+		t.Fatalf("compacted key not recomputable: %v", err)
+	}
+	if got := metrics.Snapshot().Counters["core/analyses"]; got != analyses+1 {
+		t.Fatalf("recompute ran %d analyses, want 1 (fallback shared from the kept Baseline)", got-analyses)
+	}
+	if n := c.Compact("no-such-app"); n != 0 {
+		t.Fatalf("Compact of unknown app removed %d entries", n)
+	}
+}
+
 // TestCacheBudgetAbort asserts SetBudget turns an oversized solve into a
 // typed, uncached abort: waiters see ErrSolveAborted, the entry is
 // invalidated, and lifting the budget lets the same key solve.

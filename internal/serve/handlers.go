@@ -6,8 +6,6 @@ import (
 	"strconv"
 	"time"
 
-	"repro/internal/cfi"
-	"repro/internal/pointsto"
 	"repro/internal/telemetry"
 )
 
@@ -56,18 +54,18 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) *apiError
 	if apiErr != nil {
 		return apiErr
 	}
-	opt := a.Sys.Optimistic
+	snap := a.Res.snap
 	writeJSON(w, http.StatusOK, analyzeResponse{
 		Program:          a.Hash,
 		Name:             req.Name,
 		Config:           a.Cfg.Name(),
 		Cached:           a.Cached,
-		Objects:          len(opt.Objects()),
-		ConstraintNodes:  opt.NodeCount(),
-		SolverIterations: opt.Stats().Iterations,
-		Invariants:       len(a.Sys.Invariants()),
-		MonitorSites:     opt.Stats().MonitorSites,
-		ICallSites:       len(opt.ICallSites()),
+		Objects:          snap.Objects,
+		ConstraintNodes:  snap.ConstraintNodes,
+		SolverIterations: snap.SolverIterations,
+		Invariants:       len(snap.Invariants),
+		MonitorSites:     snap.MonitorSites,
+		ICallSites:       len(snap.ICallSites),
 	})
 	return nil
 }
@@ -102,26 +100,14 @@ func (s *Server) handlePointsTo(w http.ResponseWriter, r *http.Request) *apiErro
 	if apiErr != nil {
 		return apiErr
 	}
-	labels := func(res *pointsto.Result) []string {
-		var refs []pointsto.ObjRef
-		if req.Reg == "" {
-			refs = res.ReturnPointsTo(req.Fn)
-		} else {
-			refs = res.PointsTo(req.Fn, req.Reg)
-		}
-		out := make([]string, 0, len(refs))
-		for _, ref := range refs {
-			out = append(out, ref.String())
-		}
-		return out
-	}
+	opt, fb := a.Res.pointsTo(req.Fn, req.Reg)
 	writeJSON(w, http.StatusOK, pointstoResponse{
 		Program:    a.Hash,
 		Config:     a.Cfg.Name(),
 		Fn:         req.Fn,
 		Reg:        req.Reg,
-		Optimistic: labels(a.Sys.Optimistic),
-		Fallback:   labels(a.Sys.Fallback),
+		Optimistic: opt,
+		Fallback:   fb,
 	})
 	return nil
 }
@@ -154,29 +140,22 @@ func (s *Server) handleCFITargets(w http.ResponseWriter, r *http.Request) *apiEr
 	if apiErr != nil {
 		return apiErr
 	}
-	opt := cfi.PolicyFrom(a.Sys.Optimistic)
-	fb := cfi.PolicyFrom(a.Sys.Fallback)
-	sites := opt.Sites
+	snap := a.Res.snap
+	sites := snap.CFISites
 	if req.Site != nil {
-		found := false
-		for _, site := range sites {
-			if site == *req.Site {
-				found = true
-				break
-			}
-		}
-		if !found {
+		site := a.Res.site(*req.Site)
+		if site == nil {
 			return &apiError{Status: http.StatusBadRequest, Kind: "validation",
 				Msg: "no indirect callsite at instruction #" + strconv.Itoa(*req.Site)}
 		}
-		sites = []int{*req.Site}
+		sites = []cfiSite{*site}
 	}
 	resp := cfiTargetsResponse{Program: a.Hash, Config: a.Cfg.Name(), Sites: []cfiSite{}}
 	for _, site := range sites {
 		resp.Sites = append(resp.Sites, cfiSite{
-			Site:       site,
-			Optimistic: nonNil(opt.Targets[site]),
-			Fallback:   nonNil(fb.Targets[site]),
+			Site:       site.Site,
+			Optimistic: nonNil(site.Optimistic),
+			Fallback:   nonNil(site.Fallback),
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -205,16 +184,12 @@ func (s *Server) handleInvariants(w http.ResponseWriter, r *http.Request) *apiEr
 	if apiErr != nil {
 		return apiErr
 	}
+	snap := a.Res.snap
 	resp := invariantsResponse{
 		Program:      a.Hash,
 		Config:       a.Cfg.Name(),
-		Invariants:   []invariantRecord{},
-		MonitorSites: a.Sys.Optimistic.Stats().MonitorSites,
-	}
-	for _, rec := range a.Sys.Invariants() {
-		resp.Invariants = append(resp.Invariants, invariantRecord{
-			Kind: rec.Kind.String(), Site: rec.Site, Desc: rec.Desc,
-		})
+		Invariants:   append([]invariantRecord{}, snap.Invariants...),
+		MonitorSites: snap.MonitorSites,
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return nil
@@ -249,6 +224,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) *apiError
 		CachedPrograms:   programs,
 		DegradedSwitches: s.metrics.Counter("serve/switch/degraded").Value(),
 	})
+	return nil
+}
+
+// readyResponse is the /readyz body — deliberately distinct from /healthz:
+// health is liveness ("the process serves"), readiness is "new analysis
+// work is welcome here", false while the persistent store warm-loads at
+// startup and again once shutdown drain begins.
+type readyResponse struct {
+	Ready           bool   `json:"ready"`
+	State           string `json:"state"`            // "warming" | "ready" | "draining"
+	WarmTotal       int64  `json:"warm_total"`       // records the startup scan planned to load
+	WarmLoaded      int64  `json:"warm_loaded"`      // records installed into the cache
+	WarmQuarantined int64  `json:"warm_quarantined"` // records quarantined during warm-load
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) *apiError {
+	st := s.state.Load()
+	resp := readyResponse{
+		Ready:           st == stateReady,
+		State:           stateName(st),
+		WarmTotal:       s.warmTotal.Load(),
+		WarmLoaded:      s.warmLoaded.Load(),
+		WarmQuarantined: s.warmQuarantined.Load(),
+	}
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 	return nil
 }
 

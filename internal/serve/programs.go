@@ -10,7 +10,6 @@ import (
 	"runtime"
 	"strconv"
 
-	"repro/internal/core"
 	"repro/internal/invariant"
 	"repro/internal/pointsto"
 	"repro/internal/runner"
@@ -44,9 +43,15 @@ func (s *Server) lookupProgram(hash, src string) (*workload.App, bool) {
 		victim := s.order[0]
 		s.order = s.order[1:]
 		delete(s.apps, victim)
-		for k := range s.solved {
+		for k := range s.results {
 			if k.hash == victim {
-				delete(s.solved, k)
+				delete(s.results, k)
+				delete(s.dirty, k)
+				if s.store != nil {
+					// Disk eviction rides along with memory eviction, so a
+					// restart can never resurrect an entry the FIFO dropped.
+					s.store.Delete(persistKey(k))
+				}
 			}
 		}
 		s.cache.Forget(progName(victim))
@@ -59,31 +64,18 @@ func (s *Server) lookupProgram(hash, src string) (*workload.App, bool) {
 	return app, false
 }
 
-// isSolved reports whether (hash, cfg) has a completed analysis — the
-// cheap-lookup fast path that stays servable on the fallback view.
-func (s *Server) isSolved(k solvedKey) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.solved[k]
-}
-
-func (s *Server) markSolved(k solvedKey) {
-	s.mu.Lock()
-	s.solved[k] = true
-	s.mu.Unlock()
-}
-
 // analysis is a served analysis plus its cache provenance.
 type analysis struct {
-	Sys    *core.System
+	Res    *servedResult
 	Hash   string
 	Cfg    invariant.Config
 	Cached bool // answered from the content-hash cache, no new solve
 }
 
-// system resolves a submission to its analyzed System: content-hash lookup,
-// admission (skipped for already-solved pairs), then the budgeted
-// single-flight solve. Every failure maps to a typed apiError:
+// system resolves a submission to its result snapshot: content-hash lookup
+// (already-solved pairs — including warm-loaded ones — answer without
+// admission or a solve), then the budgeted single-flight solve and
+// projection. Every failure maps to a typed apiError:
 // 400 for programs that do not compile or configs that do not parse,
 // 503 kind "overloaded" for shed requests, 503 kind "budget" for solver
 // budget/timeout exhaustion, 500 for anything else (e.g. injected faults).
@@ -111,31 +103,34 @@ func (s *Server) system(ctx context.Context, req submission) (*analysis, *apiErr
 			Msg: fmt.Sprintf("program %q does not compile: %v", name, err)}
 	}
 	key := solvedKey{hash: hash, cfg: cfg.Name()}
-	cached := s.isSolved(key)
-	if cached {
+	if res := s.result(key); res != nil {
 		s.metrics.Counter("serve/cache/hits").Inc()
 		tr.Annotate("cache", "hit")
-	} else {
-		s.metrics.Counter("serve/cache/misses").Inc()
-		tr.Annotate("cache", "miss")
-		// The admission span makes queueing visible per request: a trace
-		// whose serve/admission span dominates was slow because the daemon
-		// was at capacity, not because its solve was expensive.
-		admitCtx, _, finishAdmit := telemetry.StartSpanCtx(ctx, s.metrics, "serve/admission")
-		release, apiErr := s.admit(admitCtx)
-		finishAdmit()
-		if apiErr != nil {
-			tr.Annotate("admission", "shed")
-			return nil, apiErr
+		tr.Annotate("solver_iterations", strconv.Itoa(res.snap.SolverIterations))
+		if s.cfg.SolveSteps > 0 {
+			tr.Annotate("budget_steps", strconv.FormatInt(s.cfg.SolveSteps, 10))
 		}
-		tr.Annotate("admission", "admitted")
-		defer release()
-		s.mu.Lock()
-		hold := s.testHoldSolve
-		s.mu.Unlock()
-		if hold != nil {
-			hold()
-		}
+		return &analysis{Res: res, Hash: hash, Cfg: cfg, Cached: true}, nil
+	}
+	s.metrics.Counter("serve/cache/misses").Inc()
+	tr.Annotate("cache", "miss")
+	// The admission span makes queueing visible per request: a trace
+	// whose serve/admission span dominates was slow because the daemon
+	// was at capacity, not because its solve was expensive.
+	admitCtx, _, finishAdmit := telemetry.StartSpanCtx(ctx, s.metrics, "serve/admission")
+	release, apiErr := s.admit(admitCtx)
+	finishAdmit()
+	if apiErr != nil {
+		tr.Annotate("admission", "shed")
+		return nil, apiErr
+	}
+	tr.Annotate("admission", "admitted")
+	defer release()
+	s.mu.Lock()
+	hold := s.testHoldSolve
+	s.mu.Unlock()
+	if hold != nil {
+		hold()
 	}
 	if s.cfg.SolveTimeout > 0 {
 		var cancel context.CancelFunc
@@ -150,7 +145,7 @@ func (s *Server) system(ctx context.Context, req submission) (*analysis, *apiErr
 	if req.Parallel && workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > 0 && !cached {
+	if workers > 0 {
 		s.metrics.Counter("serve/solve/parallel").Inc()
 		tr.Annotate("parallel_workers", strconv.Itoa(workers))
 	}
@@ -158,7 +153,7 @@ func (s *Server) system(ctx context.Context, req submission) (*analysis, *apiErr
 	// invisible to the cache key and only changes how much the solve
 	// allocates.
 	intern := s.cfg.Intern || req.Intern
-	if intern && !cached {
+	if intern {
 		s.metrics.Counter("serve/solve/intern").Inc()
 		tr.Annotate("intern", "on")
 	}
@@ -179,13 +174,13 @@ func (s *Server) system(ctx context.Context, req submission) (*analysis, *apiErr
 		return nil, &apiError{Status: http.StatusInternalServerError, Kind: "internal",
 			Msg: fmt.Sprintf("analysis failed: %v", err)}
 	}
-	s.markSolved(key)
+	res := s.storeResult(key, sys)
 	// Budget spent, in the solver's own currency (constraint iterations of
 	// the optimistic stage); with a step budget configured the pair shows
 	// how close this program runs to the ceiling.
-	tr.Annotate("solver_iterations", strconv.Itoa(sys.Optimistic.Stats().Iterations))
+	tr.Annotate("solver_iterations", strconv.Itoa(res.snap.SolverIterations))
 	if s.cfg.SolveSteps > 0 {
 		tr.Annotate("budget_steps", strconv.FormatInt(s.cfg.SolveSteps, 10))
 	}
-	return &analysis{Sys: sys, Hash: hash, Cfg: cfg, Cached: cached}, nil
+	return &analysis{Res: res, Hash: hash, Cfg: cfg, Cached: false}, nil
 }

@@ -27,6 +27,16 @@
 // because an overloaded server, unlike a violated invariant, heals.
 // Transitions count into "serve/switch/degraded" and
 // "serve/switch/recovered"; /healthz reports the current view.
+//
+// With Config.CacheDir set the daemon is additionally crash-safe: every
+// solved analysis is projected into a result snapshot (see snapshot.go) and
+// spilled through internal/persist's checksummed atomic-write store, a
+// restart warm-loads those records before /readyz reports ready, and any
+// record that fails verification is quarantined and transparently
+// re-solved — a damaged disk can cost a daemon warmth, never correctness.
+// Shutdown is symmetric: BeginDrain flips /readyz to 503 and refuses new
+// POST work with a typed "draining" error while in-flight requests finish,
+// then FlushDirty retries any record whose earlier save failed.
 package serve
 
 import (
@@ -45,6 +55,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/invariant"
+	"repro/internal/persist"
 	"repro/internal/pointsto"
 	"repro/internal/runner"
 	"repro/internal/telemetry"
@@ -125,6 +136,17 @@ type Config struct {
 	// index. Analysis responses are byte-identical either way — tracing is
 	// a pure observer, which TestTracingByteIdentity asserts.
 	DisableTracing bool
+
+	// CacheDir, when non-empty, backs the analysis cache with the
+	// crash-safe persistent store (internal/persist): every solved analysis
+	// is projected to its result snapshot and spilled to disk keyed by
+	// content hash + config; a restarted daemon warm-loads the store
+	// (bounded by MaxPrograms, FIFO-coherent with live eviction) before
+	// /readyz reports ready; and a record that fails its checksum or
+	// cross-checks is quarantined and transparently re-solved. Empty (the
+	// default) keeps the daemon memory-only. Open failures are recorded in
+	// PersistError — the daemon still comes up, memory-only.
+	CacheDir string
 }
 
 // TraceHeader is the request/response header carrying the trace identity: a
@@ -154,10 +176,25 @@ type Server struct {
 	// true = fallback (shed uncached work immediately). See package doc.
 	degraded atomic.Bool
 
-	mu     sync.Mutex
-	apps   map[string]*workload.App // content hash → synthesized program
-	order  []string                 // insertion order, for eviction
-	solved map[solvedKey]bool       // completed solves servable without admission
+	// store is the crash-safe persistent layer (nil = memory-only daemon);
+	// persistErr records why Config.CacheDir could not be opened.
+	store      *persist.Store
+	persistErr error
+
+	// state is the readiness machine: warming (loading the persistent
+	// store) → ready → draining (shutting down, no new work). /readyz
+	// reports it; POST endpoints refuse with a typed 503 while draining.
+	state           atomic.Int32
+	warmDone        chan struct{} // closed when the warm-load pass finishes
+	warmTotal       atomic.Int64
+	warmLoaded      atomic.Int64
+	warmQuarantined atomic.Int64
+
+	mu      sync.Mutex
+	apps    map[string]*workload.App    // content hash → synthesized program
+	order   []string                    // insertion order, for eviction
+	results map[solvedKey]*servedResult // completed solves servable without admission
+	dirty   map[solvedKey]bool          // results whose disk save failed (retried at drain)
 
 	// testHoldSolve, when set by a test, runs while the request holds its
 	// admission slot, letting tests pin the server at capacity.
@@ -185,13 +222,15 @@ func New(cfg Config) *Server {
 		cfg.RetryAfter = time.Second
 	}
 	s := &Server{
-		cfg:     cfg,
-		metrics: cfg.Metrics,
-		cache:   runner.NewCache(cfg.Metrics),
-		sem:     make(chan struct{}, cfg.MaxInflight),
-		start:   time.Now(),
-		apps:    map[string]*workload.App{},
-		solved:  map[solvedKey]bool{},
+		cfg:      cfg,
+		metrics:  cfg.Metrics,
+		cache:    runner.NewCache(cfg.Metrics),
+		sem:      make(chan struct{}, cfg.MaxInflight),
+		start:    time.Now(),
+		apps:     map[string]*workload.App{},
+		results:  map[solvedKey]*servedResult{},
+		dirty:    map[solvedKey]bool{},
+		warmDone: make(chan struct{}),
 	}
 	if !cfg.DisableTracing {
 		s.flight = telemetry.NewFlightRecorder(cfg.TraceRecent, cfg.TraceSlowest)
@@ -205,8 +244,33 @@ func New(cfg Config) *Server {
 	for _, rt := range Routes() {
 		s.mux.HandleFunc(rt.Path, s.instrumented(rt))
 	}
+	if cfg.CacheDir != "" {
+		st, err := persist.Open(cfg.CacheDir, cfg.Metrics)
+		if err != nil {
+			s.persistErr = err
+			s.metrics.Counter("persist/open-failures").Inc()
+		} else {
+			s.store = st
+			if cfg.Faults != nil {
+				st.SetFaults(cfg.Faults)
+			}
+		}
+	}
+	if s.store != nil {
+		s.state.Store(stateWarming)
+		go s.warmLoad()
+	} else {
+		s.state.Store(stateReady)
+		close(s.warmDone)
+	}
 	return s
 }
+
+// PersistError reports why the persistent store configured by CacheDir
+// could not be opened (nil when it opened, or when none was configured).
+// The daemon degrades to memory-only on open failure; callers that want
+// fail-fast semantics (cmd/kscope-serve does) check this after New.
+func (s *Server) PersistError() error { return s.persistErr }
 
 // Route describes one registered endpoint. docs/API.md documents exactly
 // this table; TestAPIDocCoversRoutes diffs the two.
@@ -225,6 +289,7 @@ func Routes() []Route {
 		{"POST", "/cfi-targets", "permitted indirect-call targets per callsite, both views"},
 		{"POST", "/invariants", "likely invariants assumed by the optimistic analysis"},
 		{"GET", "/healthz", "liveness, service view, admission and cache occupancy"},
+		{"GET", "/readyz", "readiness: 503 while warm-loading the persistent store or draining for shutdown"},
 		{"GET", "/metricsz", "telemetry snapshot (counters, gauges, timers, histograms)"},
 		{"GET", "/tracez", "recent and slowest request traces; ?id= exports one as Chrome trace JSON"},
 	}
@@ -271,6 +336,8 @@ func (s *Server) instrumented(rt Route) http.HandlerFunc {
 		h = s.handleInvariants
 	case "/healthz":
 		h = s.handleHealthz
+	case "/readyz":
+		h = s.handleReadyz
 	case "/metricsz":
 		h = s.handleMetricsz
 	case "/tracez":
@@ -295,6 +362,13 @@ func (s *Server) instrumented(rt Route) http.HandlerFunc {
 			sw.Header().Set("Allow", rt.Method)
 			s.writeError(sw, &apiError{Status: http.StatusMethodNotAllowed, Kind: "method",
 				Msg: fmt.Sprintf("%s requires %s", rt.Path, rt.Method)})
+		} else if rt.Method == http.MethodPost && s.state.Load() == stateDraining {
+			// Every POST route submits analysis work; a draining daemon
+			// refuses it with a typed, retryable 503 while the GET routes
+			// keep serving (so operators can still inspect the shutdown).
+			s.writeError(sw, &apiError{Status: http.StatusServiceUnavailable, Kind: "draining",
+				Msg:        "daemon is draining for shutdown; not accepting new analysis requests",
+				RetryAfter: s.cfg.RetryAfter})
 		} else if apiErr := h(sw, r); apiErr != nil {
 			s.writeError(sw, apiErr)
 		}
@@ -366,7 +440,7 @@ func (s *Server) logAccess(tr *telemetry.Trace, method, path string, status int,
 // apiError is a typed error response; every non-2xx the daemon emits is one.
 type apiError struct {
 	Status     int           // HTTP status code
-	Kind       string        // validation | oversized | method | not-found | overloaded | budget | internal
+	Kind       string        // validation | oversized | method | not-found | overloaded | budget | draining | internal
 	Msg        string        // human-readable detail
 	RetryAfter time.Duration // >0 adds the Retry-After header + retry_after_ms field
 }
